@@ -1,0 +1,18 @@
+"""Benchmark suite configuration.
+
+Every paper table/figure has one module here that regenerates it at a
+reduced-but-faithful scale and asserts the *shape* claims (who wins, by
+roughly what factor, where crossovers fall).  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Pass ``-s`` to see the regenerated rows/series.
+"""
+
+import sys
+from pathlib import Path
+
+# allow running the benchmarks without installing the package
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))

@@ -1,0 +1,31 @@
+"""Extension bench — distributed-memory strong scaling (paper §II).
+
+Shape claims checked: near-linear speedup at low node counts, efficiency
+decaying as the LET exchange's share of the step grows, communication
+fraction rising monotonically with node count.
+"""
+
+from repro.experiments import cluster_scaling
+
+
+def test_bench_cluster_scaling(benchmark):
+    log = benchmark.pedantic(
+        lambda: cluster_scaling.run(n=50000, S=128), rounds=1, iterations=1
+    )
+    print()
+    print(
+        log.to_table(
+            ["nodes", "step_time", "speedup", "efficiency", "comm_fraction", "comm_mbytes"]
+        )
+    )
+    rows = {r["nodes"]: r for r in log}
+    assert rows[1]["speedup"] == 1.0
+    assert rows[2]["efficiency"] > 0.85
+    assert rows[4]["efficiency"] > 0.7
+    # efficiency decays monotonically (to tolerance)
+    effs = [rows[p]["efficiency"] for p in (1, 2, 4, 8, 16)]
+    assert all(b <= a * 1.02 for a, b in zip(effs, effs[1:]))
+    # communication share rises with node count
+    comms = [rows[p]["comm_fraction"] for p in (2, 4, 8, 16)]
+    assert all(b >= a * 0.9 for a, b in zip(comms, comms[1:]))
+    assert rows[16]["comm_mbytes"] > rows[2]["comm_mbytes"]

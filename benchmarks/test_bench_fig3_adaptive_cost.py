@@ -1,0 +1,35 @@
+"""Fig. 3 bench — adaptive decomposition gives *gradual* CPU/GPU cost vs S.
+
+Shape claims checked:
+* CPU (far-field) time decreases monotonically (to tolerance) with S;
+* GPU (near-field) time increases toward large S;
+* the curves cross (a balanced S exists inside the sweep);
+* no adjacent-S jump exceeds ~4x (contrast with Fig. 4's regime jumps).
+"""
+
+import numpy as np
+
+from repro.experiments import fig3_adaptive_cost
+
+
+def test_bench_fig3(benchmark):
+    log = benchmark.pedantic(
+        lambda: fig3_adaptive_cost.run(n=20000), rounds=1, iterations=1
+    )
+    print()
+    print(log.to_table(["S", "cpu_time", "gpu_time", "compute_time", "gpu_efficiency"]))
+
+    cpu = np.array(log.column("cpu_time"))
+    gpu = np.array(log.column("gpu_time"))
+    # CPU falls with S (allow tiny non-monotonic wiggle)
+    assert cpu[0] > 5 * cpu[-1]
+    assert np.all(np.diff(cpu) <= cpu[:-1] * 0.15)
+    # GPU eventually rises
+    assert gpu[-1] > gpu.min() * 1.3
+    # crossover exists
+    sign = np.sign(cpu - gpu)
+    assert sign[0] > 0 and sign[-1] < 0
+    # gradual: adjacent compute times never jump by more than ~4x
+    comp = np.array(log.column("compute_time"))
+    ratios = np.maximum(comp[1:], comp[:-1]) / np.minimum(comp[1:], comp[:-1])
+    assert ratios.max() < 4.0

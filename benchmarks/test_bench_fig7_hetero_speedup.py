@@ -1,0 +1,33 @@
+"""Fig. 7 / §VIII-E bench — heterogeneous node speedup vs S.
+
+Shape claims checked against the paper's discussion:
+* large overall speedup for the full node (paper: ~98x at 10C+4G on 1M
+  bodies; we assert > 60x at our scale and print the measured value);
+* the under-powered-CPU ordering — 10C+2G beats 4C+4G;
+* 10C+1G and 4C+2G land close to each other ("achieve similar
+  performance");
+* resources monotone: more GPUs at fixed cores never hurt, and vice versa.
+"""
+
+from repro.experiments import fig7_hetero_speedup
+
+
+def test_bench_fig7(benchmark):
+    log = benchmark.pedantic(
+        lambda: fig7_hetero_speedup.run(n=30000), rounds=1, iterations=1
+    )
+    best = fig7_hetero_speedup.best_speedups(log)
+    print()
+    for cfg, sp in sorted(best.items(), key=lambda kv: kv[1]):
+        print(f"  {cfg:8s} {sp:7.1f}x")
+
+    # headline: the full heterogeneous node is dramatically faster than 1 core
+    assert best["10C_4G"] > 60.0
+    # §VIII-E ordering claims
+    assert best["10C_2G"] > best["4C_4G"]
+    ratio = best["10C_1G"] / best["4C_2G"]
+    assert 0.6 < ratio < 1.6  # "similar performance"
+    # monotonicity in resources
+    assert best["10C_4G"] >= best["10C_2G"] >= best["10C_1G"]
+    assert best["4C_4G"] >= best["4C_2G"] >= best["4C_1G"]
+    assert best["10C_1G"] >= best["4C_1G"]

@@ -1,0 +1,52 @@
+"""Figs. 8–9 + Table II bench — three load-balancing strategies on the
+dynamic (expanding-cluster) workload.
+
+Shape claims checked against Table II:
+* strategy 3 (full) has the lowest cost per time step (paper: static is
+  3.91x, enforce-only 1.51x the full strategy over 2000 steps; our scaled
+  run asserts the same ordering with static >= enforce >= full);
+* the full strategy's load-balancing overhead stays small (paper: 1.88%
+  of compute; we assert < 10%);
+* Fig. 9's behaviour: the full strategy's S trail changes over the run
+  while the static strategy's S is frozen after the initial search.
+"""
+
+import numpy as np
+
+from repro.experiments import fig8_fig9_table2_strategies as strat
+
+
+def test_bench_strategies(benchmark):
+    logs = benchmark.pedantic(
+        lambda: strat.run(n=1800, steps=130, velocity_scale=2.6),
+        rounds=1,
+        iterations=1,
+    )
+    table = strat.table2(logs)
+    print()
+    print(table.to_table())
+
+    rows = {r["strategy"]: r for r in table}
+    # ordering: full best, static worst
+    assert rows["full"]["relative_cost_per_step"] == 1.0
+    assert rows["static"]["relative_cost_per_step"] >= rows["enforce"]["relative_cost_per_step"] * 0.98
+    assert rows["enforce"]["relative_cost_per_step"] >= 1.0
+    assert rows["static"]["relative_cost_per_step"] > 1.1
+    # LB overhead small
+    assert rows["full"]["lb_pct_of_compute"] < 10.0
+    assert rows["static"]["lb_pct_of_compute"] < rows["full"]["lb_pct_of_compute"] * 2
+
+    # Fig. 9: frozen vs adapting S
+    static_S = logs["static"].column("S")
+    full_S = logs["full"].column("S")
+    states = logs["static"].column("state")
+    post_search = [s for st, s in zip(states, static_S) if st != "search"]
+    assert len(set(post_search)) == 1
+    assert len(set(full_S)) > 1
+
+    # Fig. 8: per-step totals of the full strategy end below static's
+    tail = slice(-30, None)
+    static_tail = np.mean(logs["static"].column("total_time")[tail])
+    full_tail = np.mean(logs["full"].column("total_time")[tail])
+    print(f"tail mean/step: static={static_tail:.3g}s full={full_tail:.3g}s")
+    assert full_tail < static_tail

@@ -1,0 +1,25 @@
+"""Table I bench — GPU scaling for a fixed workload.
+
+Shape claims checked: near-linear scaling from the interaction-count
+partitioner (paper: "works well"), with only a mild tail-off at 4 GPUs,
+and per-GPU interaction loads within a few percent of equal.
+"""
+
+from repro.experiments import table1_gpu_scaling
+
+
+def test_bench_table1(benchmark):
+    log = benchmark.pedantic(
+        lambda: table1_gpu_scaling.run(n=30000), rounds=1, iterations=1
+    )
+    print()
+    print(log.to_table(["n_gpus", "kernel_time", "speedup", "interaction_imbalance"]))
+
+    sp = {r["n_gpus"]: r["speedup"] for r in log}
+    assert sp[1] == 1.0
+    assert sp[2] > 1.8
+    assert sp[3] > 2.6
+    assert 3.4 < sp[4] <= 4.05
+    # the greedy walk keeps per-GPU interaction counts near-equal
+    for r in log:
+        assert r["interaction_imbalance"] < 1.15

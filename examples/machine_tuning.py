@@ -1,0 +1,60 @@
+"""Explore the CPU/GPU cost trade-off of the leaf-capacity parameter S.
+
+Sweeps S on a heterogeneous machine model and renders the ASCII version
+of the paper's Fig. 3: the far-field (CPU) curve falling, the near-field
+(GPU) curve rising, and the balanced crossover the load balancer hunts.
+
+Run:  python examples/machine_tuning.py [n_bodies] [n_cores] [n_gpus]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import GravityKernel, HeterogeneousExecutor, build_adaptive, plummer, system_a
+
+
+def ascii_chart(s_values, cpu, gpu, width=50):
+    top = max(max(cpu), max(gpu))
+    lines = []
+    for S, c, g in zip(s_values, cpu, gpu):
+        nc = int(round(c / top * width))
+        ng = int(round(g / top * width))
+        row = [" "] * (width + 1)
+        for i in range(min(nc, width)):
+            row[i] = "-"
+        row[min(nc, width)] = "C"
+        row[min(ng, width)] = "G" if row[min(ng, width)] != "C" else "X"
+        lines.append(f"S={S:5d} |{''.join(row)}| cpu={c * 1e3:8.3f}ms gpu={g * 1e3:8.3f}ms")
+    return "\n".join(lines)
+
+
+def main(n: int = 20000, n_cores: int = 10, n_gpus: int = 4) -> None:
+    ps = plummer(n, seed=0)
+    machine = system_a().with_resources(n_cores=n_cores, n_gpus=n_gpus)
+    executor = HeterogeneousExecutor(machine, order=4, kernel=GravityKernel())
+    print(f"machine: {machine.name}, N = {n} (Plummer)")
+
+    s_values = [int(v) for v in np.unique(np.round(np.geomspace(16, 2048, 16)))]
+    cpu, gpu = [], []
+    best = None
+    for S in s_values:
+        tree = build_adaptive(ps.positions, S)
+        t = executor.time_step(tree)
+        cpu.append(t.cpu_time)
+        gpu.append(t.gpu_time)
+        if best is None or t.compute_time < best[1]:
+            best = (S, t.compute_time, t.gpu_efficiency)
+
+    print()
+    print(ascii_chart(s_values, cpu, gpu))
+    print(
+        f"\nbest S = {best[0]} with compute time {best[1] * 1e3:.3f} ms "
+        f"(GPU efficiency {best[2]:.2f})"
+    )
+    print("C = CPU (far-field) time, G = GPU (near-field) time, X = overlap")
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:4]]
+    main(*args) if args else main()

@@ -1,0 +1,57 @@
+"""Quickstart: solve a gravitational N-body problem with the adaptive FMM.
+
+Builds an adaptive octree over a Plummer sphere, runs one FMM solve, and
+verifies potential and accelerations against direct summation.
+
+Run:  python examples/quickstart.py [n_bodies]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro import (
+    FMMSolver,
+    GravityKernel,
+    accuracy_report,
+    build_adaptive,
+    plummer,
+)
+
+
+def main(n: int = 20000) -> None:
+    print(f"sampling a Plummer sphere with {n} bodies ...")
+    ps = plummer(n, seed=42)
+
+    print("building the adaptive octree (leaf capacity S=64) ...")
+    t0 = time.perf_counter()
+    tree = build_adaptive(ps.positions, S=64)
+    stats = tree.stats()
+    print(
+        f"  {stats['n_nodes']} nodes, {stats['n_leaves']} leaves, "
+        f"depth {stats['depth']}, built in {time.perf_counter() - t0:.2f}s"
+    )
+
+    kernel = GravityKernel(G=1.0)
+    solver = FMMSolver(kernel, order=4)
+    print("running the FMM solve (order 4) ...")
+    t0 = time.perf_counter()
+    result = solver.solve(tree, ps.strengths, gradient=True)
+    print(f"  solved in {time.perf_counter() - t0:.2f}s")
+    print("  operation counts:")
+    for op, count in result.op_counts.items():
+        print(f"    {op:4s} {count:>12,}")
+
+    print("verifying against direct summation on a 300-body sample ...")
+    report = accuracy_report(kernel, ps.positions, ps.strengths, result, sample=300)
+    print(f"  potential relative error: {report['potential_rel_err']:.3e}")
+    print(f"  gradient  relative error: {report['gradient_rel_err']:.3e}")
+
+    a = result.gradient
+    print(f"  max |acceleration|: {np.linalg.norm(a, axis=1).max():.4g}")
+    print("done.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 20000)

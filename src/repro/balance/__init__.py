@@ -1,0 +1,16 @@
+"""Dynamic load balancing: the three-state machine of §V, the enforcement
+mechanisms of §VI, and the full workflow of §VII-B."""
+
+from repro.balance.states import BalancerState
+from repro.balance.config import BalancerConfig
+from repro.balance.finegrained import FineGrainedReport, fine_grained_optimize
+from repro.balance.controller import DynamicLoadBalancer, LBOutcome
+
+__all__ = [
+    "BalancerState",
+    "BalancerConfig",
+    "FineGrainedReport",
+    "fine_grained_optimize",
+    "DynamicLoadBalancer",
+    "LBOutcome",
+]

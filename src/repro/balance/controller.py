@@ -1,0 +1,215 @@
+"""The dynamic load balancer: full workflow of §VII-B.
+
+"The simulation starts in the binary search state. ... The load balancer
+leaves the binary search state and moves into the incremental state when
+CPU and GPU times differ by 0.15s or less.  The load balancer remains in
+the incremental state until the computational unit which dominates the
+runtime cost changes. ... Once this transitional S value is found, if the
+CPU and GPU times differ by more than 0.15s, then FineGrainedOptimize() is
+called and upon return from this function the load balancer enters the
+observation state. ...
+
+While the load balancer sits in the observation state, nothing is done if
+the compute time for the current time step is within 5% of the previously
+recorded best time.  If the current compute time differs by more than 5%,
+then Enforce_S() is called.  After this call the compute time for the next
+time step is predicted and if it is not within 5% of the best, then
+FineGrainedOptimize() is called and the time is again predicted.  If the
+fine grained adjustment fails to bring the predicted time within 5% of the
+best time, the load balancer moves into the incremental state again on the
+following time step."
+
+The same controller also implements the two baseline strategies of §IX-A
+via ``mode``:
+
+* ``"static"``  — strategy 1: binary search once, then never touch the tree;
+* ``"enforce"`` — strategy 2: binary search once, then Enforce_S whenever
+  the compute time degrades 5% past the best (the following step's time
+  becomes the new best);
+* ``"full"``    — strategy 3: the complete workflow above.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.balance.config import BalancerConfig
+from repro.balance.finegrained import fine_grained_optimize
+from repro.balance.states import BalancerState
+from repro.costmodel.coefficients import ObservedCoefficients
+from repro.costmodel.predictor import predict_times
+from repro.machine.executor import HeterogeneousExecutor, StepTiming
+from repro.tree.lists import build_interaction_lists
+from repro.tree.octree import AdaptiveOctree
+
+__all__ = ["DynamicLoadBalancer", "LBOutcome"]
+
+
+@dataclass
+class LBOutcome:
+    """What the balancer did at the end of one time step."""
+
+    lb_time: float = 0.0
+    state: BalancerState = BalancerState.SEARCH
+    #: driver must rebuild the tree with this S before the next step
+    rebuild_S: int | None = None
+    #: tree was modified in place (enforce / fine-grained surgery)
+    tree_modified: bool = False
+    actions: list[str] = field(default_factory=list)
+
+
+class DynamicLoadBalancer:
+    """Stateful controller invoked once at the end of every time step."""
+
+    def __init__(
+        self,
+        executor: HeterogeneousExecutor,
+        *,
+        config: BalancerConfig | None = None,
+        initial_S: int | None = None,
+        mode: str = "full",
+    ) -> None:
+        if mode not in ("static", "enforce", "full"):
+            raise ValueError(f"unknown balancer mode {mode!r}")
+        self.executor = executor
+        self.config = config or BalancerConfig()
+        self.mode = mode
+        self.coeffs = ObservedCoefficients()
+        self.state = BalancerState.SEARCH
+        # log-space binary search bounds
+        self._lo = float(self.config.s_min)
+        self._hi = float(self.config.s_max)
+        self.S = int(initial_S) if initial_S is not None else int(
+            round(math.sqrt(self._lo * self._hi))
+        )
+        self._search_steps = 0
+        self._frozen = False  # static mode after search
+        self._inc_entry_dominant: str | None = None
+        self.best_time: float | None = None
+        self._expect_new_best = False
+
+    # ------------------------------------------------------------------ api
+    def end_of_step(self, tree: AdaptiveOctree, timing: StepTiming) -> LBOutcome:
+        """Digest one step's timing; possibly adjust S or operate on the tree."""
+        self.coeffs.update_from_registry(timing.cpu_registry, timing.gpu_p2p_coefficient)
+        out = LBOutcome(state=self.state)
+        if self._expect_new_best:
+            # the step right after an enforcement becomes the new best
+            self.best_time = timing.compute_time
+            self._expect_new_best = False
+        if self._frozen:
+            out.actions.append("frozen")
+            return out
+        if self.state is BalancerState.SEARCH:
+            self._search_step(tree, timing, out)
+        elif self.state is BalancerState.INCREMENTAL:
+            self._incremental_step(tree, timing, out)
+        else:
+            self._observation_step(tree, timing, out)
+        out.state = self.state
+        return out
+
+    # --------------------------------------------------------------- search
+    def _search_step(self, tree, timing, out) -> None:
+        cfg = self.config
+        self._search_steps += 1
+        gap = abs(timing.cpu_time - timing.gpu_time)
+        if gap <= cfg.gap_gate(timing.compute_time) or self._search_steps >= cfg.search_max_steps:
+            out.actions.append(f"search-done S={self.S}")
+            self.best_time = timing.compute_time
+            if self.mode == "static" or self.mode == "enforce":
+                # baseline strategies fix S after the initial search
+                self.state = BalancerState.OBSERVATION
+                if self.mode == "static":
+                    self._frozen = True
+            else:
+                self.state = BalancerState.INCREMENTAL
+                self._inc_entry_dominant = timing.dominant
+            return
+        # CPU dominant -> shift work toward the GPUs (larger S), and back
+        if timing.cpu_time > timing.gpu_time:
+            self._lo = float(self.S)
+        else:
+            self._hi = float(self.S)
+        new_s = int(round(math.sqrt(self._lo * self._hi)))
+        new_s = min(max(new_s, cfg.s_min), cfg.s_max)
+        if new_s == self.S:
+            # bounds have closed; settle here
+            self._search_steps = cfg.search_max_steps - 1
+        self.S = new_s
+        out.rebuild_S = self.S
+        out.lb_time += self.executor.time_tree_build(tree)
+        out.actions.append(f"search S->{self.S}")
+
+    # ---------------------------------------------------------- incremental
+    def _incremental_step(self, tree, timing, out) -> None:
+        cfg = self.config
+        if self._inc_entry_dominant is None:
+            self._inc_entry_dominant = timing.dominant
+        if timing.dominant == self._inc_entry_dominant:
+            step = max(1, int(round(self.S * cfg.incremental_step)))
+            self.S += step if timing.dominant == "cpu" else -step
+            self.S = min(max(self.S, cfg.s_min), cfg.s_max)
+            out.rebuild_S = self.S
+            out.lb_time += self.executor.time_tree_build(tree)
+            out.actions.append(f"incremental S->{self.S}")
+            return
+        # dominance flipped: transitional S found
+        out.actions.append("transitional-S")
+        gap = abs(timing.cpu_time - timing.gpu_time)
+        if cfg.fgo_enabled and gap > cfg.gap_gate(timing.compute_time):
+            report = fine_grained_optimize(
+                tree, self.coeffs, self.executor, folded=self.executor.folded, config=cfg
+            )
+            out.lb_time += report.lb_time
+            out.tree_modified = report.changed
+            out.actions.append(
+                f"fgo rounds={report.rounds} ops={report.operations}"
+            )
+        self.best_time = timing.compute_time
+        self.state = BalancerState.OBSERVATION
+        self._inc_entry_dominant = None
+
+    # ----------------------------------------------------------- observation
+    def _observation_step(self, tree, timing, out) -> None:
+        cfg = self.config
+        if self.best_time is None:
+            self.best_time = timing.compute_time
+            return
+        if timing.compute_time <= self.best_time * (1.0 + cfg.degradation_tolerance):
+            self.best_time = min(self.best_time, timing.compute_time)
+            return
+        # degraded beyond tolerance: first line of defense is Enforce_S
+        ops = tree.enforce_s(self.S)
+        out.lb_time += self.executor.time_enforce_s(tree, ops)
+        out.tree_modified = True
+        out.actions.append(
+            f"enforce_s collapses={ops['collapses']} pushdowns={ops['pushdowns']}"
+        )
+        if self.mode == "enforce":
+            self._expect_new_best = True
+            return
+        lists = build_interaction_lists(tree, folded=self.executor.folded)
+        pred = predict_times(lists.op_counts(), self.coeffs)
+        out.lb_time += self.executor.time_prediction(tree)
+        if pred.compute_time <= self.best_time * (1.0 + cfg.degradation_tolerance):
+            return
+        if not cfg.fgo_enabled:
+            self.state = BalancerState.INCREMENTAL
+            self._inc_entry_dominant = None
+            out.actions.append("->incremental (fgo disabled)")
+            return
+        report = fine_grained_optimize(
+            tree, self.coeffs, self.executor, folded=self.executor.folded, config=cfg
+        )
+        out.lb_time += report.lb_time
+        out.tree_modified = out.tree_modified or report.changed
+        out.actions.append(f"fgo rounds={report.rounds} ops={report.operations}")
+        if (
+            report.final is not None
+            and report.final.compute_time > self.best_time * (1.0 + cfg.degradation_tolerance)
+        ):
+            self.state = BalancerState.INCREMENTAL
+            self._inc_entry_dominant = None
+            out.actions.append("->incremental")

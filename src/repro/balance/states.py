@@ -1,0 +1,23 @@
+"""Load balancer states (§V).
+
+"The load balancing machinery operates in one of three states: search,
+incremental, and observation.  During the entire course of the simulation
+the load balancer is always in one of these states."
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["BalancerState"]
+
+
+class BalancerState(enum.Enum):
+    """The three balancer states of §V."""
+
+    #: coarse binary search for a global S; start-of-simulation only
+    SEARCH = "search"
+    #: per-step ±1 step adjustments of the global S
+    INCREMENTAL = "incremental"
+    #: steady state: watch compute time, repair when it degrades
+    OBSERVATION = "observation"

@@ -1,0 +1,10 @@
+"""Baseline algorithms the paper positions itself against.
+
+§I motivates the FMM over "Barnes-Hut style methods" because the FMM
+provides *bounded* precision; :mod:`repro.baselines.barnes_hut` implements
+that comparator so the claim is testable (the `ablation-barneshut` bench
+measures error per unit work for both)."""
+
+from repro.baselines.barnes_hut import BarnesHut, BarnesHutResult
+
+__all__ = ["BarnesHut", "BarnesHutResult"]

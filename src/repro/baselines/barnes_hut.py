@@ -1,0 +1,127 @@
+"""Barnes–Hut treecode baseline.
+
+The classical O(N log N) method the paper's introduction contrasts with
+the FMM: each cell carries a monopole (total charge + center of charge);
+a cell is *accepted* for a target when cell_size / distance < theta,
+otherwise its children are visited.  Precision is controlled only through
+theta, and the error is not uniformly bounded — the property the FMM's
+truncated expansions fix (§I).
+
+The implementation reuses the adaptive octree and is vectorized per node:
+the traversal walks the tree once, partitioning the (shrinking) target set
+at every cell into "accepted" (monopole applied) and "descend".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kernels.base import Kernel
+from repro.kernels.laplace import LaplaceKernel
+from repro.tree.octree import AdaptiveOctree
+
+__all__ = ["BarnesHut", "BarnesHutResult"]
+
+
+@dataclass
+class BarnesHutResult:
+    potential: np.ndarray
+    gradient: np.ndarray | None
+    #: monopole acceptances + direct body interactions — the work measure
+    interactions: int
+
+
+class BarnesHut:
+    """Barnes–Hut solver over an :class:`AdaptiveOctree`."""
+
+    def __init__(self, kernel: Kernel | None = None, *, theta: float = 0.5) -> None:
+        if theta <= 0:
+            raise ValueError("theta must be positive")
+        self.kernel = kernel if kernel is not None else LaplaceKernel()
+        if not self.kernel.supports_multipole:
+            raise ValueError("Barnes-Hut needs a 1/r-type kernel")
+        self.theta = float(theta)
+
+    # ----------------------------------------------------------------- solve
+    def solve(
+        self, tree: AdaptiveOctree, strengths: np.ndarray, *, gradient: bool = False
+    ) -> BarnesHutResult:
+        q = np.asarray(strengths, dtype=float).reshape(-1)
+        if q.shape[0] != tree.n_bodies:
+            raise ValueError("strengths must have one entry per body")
+        pts = tree.points
+        n = tree.n_bodies
+
+        # cell monopoles: total charge and charge-weighted centroid
+        totals, centroids = self._monopoles(tree, q)
+
+        pot = np.zeros(n)
+        grad = np.zeros((n, 3)) if gradient else None
+        interactions = 0
+
+        # iterative traversal: (node, target index array)
+        stack: list[tuple[int, np.ndarray]] = [(0, np.arange(n))]
+        while stack:
+            nid, targets = stack.pop()
+            if targets.size == 0:
+                continue
+            node = tree.nodes[nid]
+            if node.count == 0:
+                continue
+            d = pts[targets] - centroids[nid]
+            dist = np.sqrt(np.einsum("ij,ij->i", d, d))
+            if node.is_leaf:
+                # direct interaction with the leaf's bodies
+                idx = tree.bodies(nid)
+                block_pot = self.kernel.evaluate(pts[targets], pts[idx], q[idx])
+                pot[targets] += block_pot[:, 0]
+                if gradient:
+                    grad[targets] += self.kernel.gradient(pts[targets], pts[idx], q[idx])
+                # remove each target's own self term (suppressed by kernel,
+                # but a softened kernel would include it)
+                interactions += targets.size * idx.size
+                continue
+            with np.errstate(divide="ignore"):
+                accepted = (node.size / np.where(dist > 0, dist, np.inf)) < self.theta
+            acc = targets[accepted]
+            if acc.size:
+                interactions += acc.size
+                da = pts[acc] - centroids[nid]
+                r2 = np.einsum("ij,ij->i", da, da)
+                inv_r = 1.0 / np.sqrt(r2)
+                pot[acc] += self.kernel.laplace_scale * totals[nid] * inv_r
+                if gradient:
+                    # gradient method convention: laplace_gradient_scale maps
+                    # grad(sum q/r) onto the kernel's output
+                    g = -totals[nid] * (inv_r**3)[:, None] * da
+                    grad[acc] += self.kernel.laplace_gradient_scale * g
+            rest = targets[~accepted]
+            for cid in tree.effective_children(nid):
+                stack.append((cid, rest))
+        # subtract finite self terms (softened kernels)
+        pot -= self.kernel.self_interaction(pts, q, gradient=False)[:, 0]
+        if gradient:
+            grad -= self.kernel.self_interaction(pts, q, gradient=True)
+        return BarnesHutResult(potential=pot, gradient=grad, interactions=interactions)
+
+    # ------------------------------------------------------------- monopoles
+    def _monopoles(self, tree: AdaptiveOctree, q: np.ndarray):
+        n_nodes = len(tree.nodes)
+        totals = np.zeros(n_nodes)
+        centroids = np.zeros((n_nodes, 3))
+        for nid in reversed(tree.effective_nodes()):
+            node = tree.nodes[nid]
+            idx = tree.bodies(nid)
+            if idx.size == 0:
+                centroids[nid] = node.center
+                continue
+            w = q[idx]
+            tot = float(w.sum())
+            totals[nid] = tot
+            if abs(tot) > 1e-300:
+                centroids[nid] = (w[:, None] * tree.points[idx]).sum(axis=0) / tot
+            else:  # net-neutral cell: fall back to the geometric mean
+                centroids[nid] = tree.points[idx].mean(axis=0)
+        return totals, centroids

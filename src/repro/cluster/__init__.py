@@ -1,0 +1,31 @@
+"""Distributed-memory extension (paper §II: "we expect the method can be
+extended to a distributed memory cluster using techniques such as those in
+[13, 9]").
+
+The extension follows the standard space-filling-curve recipe of the cited
+works (Lashuk et al.; Hu, Gumerov & Duraiswami):
+
+* bodies are partitioned across ranks by contiguous Morton ranges with
+  balanced per-rank work (:mod:`repro.cluster.partition`);
+* each rank builds a **locally essential tree** — the remote multipoles
+  (V/W senders) and remote bodies (U/X senders) its local targets consume —
+  whose exchange defines the communication volume
+  (:mod:`repro.cluster.let`);
+* a cluster of heterogeneous nodes is timed as
+  max over ranks of (local hetero compute + LET exchange)
+  (:mod:`repro.cluster.model`).
+"""
+
+from repro.cluster.partition import RankPartition, partition_by_morton_work
+from repro.cluster.let import LocallyEssentialTree, build_let
+from repro.cluster.model import ClusterSpec, DistributedExecutor, ClusterStepTiming
+
+__all__ = [
+    "RankPartition",
+    "partition_by_morton_work",
+    "LocallyEssentialTree",
+    "build_let",
+    "ClusterSpec",
+    "DistributedExecutor",
+    "ClusterStepTiming",
+]

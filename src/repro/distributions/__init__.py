@@ -1,0 +1,19 @@
+"""Particle distribution generators used by the paper's experiments."""
+
+from repro.distributions.generators import (
+    ParticleSet,
+    plummer,
+    uniform_cube,
+    gaussian_blobs,
+    exponential_disk,
+    compact_plummer,
+)
+
+__all__ = [
+    "ParticleSet",
+    "plummer",
+    "uniform_cube",
+    "gaussian_blobs",
+    "exponential_disk",
+    "compact_plummer",
+]

@@ -1,0 +1,191 @@
+"""Cartesian Taylor expansion operators for the Laplace kernel.
+
+Representation
+--------------
+* Multipole expansion of a cell with center c:
+      M_alpha = sum_i q_i (c - x_i)^alpha            (no factorials)
+  giving the far potential  phi(y) = sum_alpha M_alpha b_alpha(y - c)
+  with the scaled derivatives b_alpha of :mod:`repro.expansions.derivatives`.
+* Local expansion about z:  phi(y) = sum_beta L_beta (y - z)^beta.
+
+All operators are linear maps with precomputed combinatorial tables from
+:class:`repro.expansions.multiindex.MultiIndexSet`; per-geometry matrices
+(M2M/L2L shifts) are cached since an octree only ever uses 8 child offsets
+per level.
+
+Dipole sources (moment p at x, field (p . d)/r^3) are supported in P2M and
+P2L; this is what the composite Stokeslet far field builds on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.expansions.derivatives import scaled_derivative_tensors
+from repro.expansions.multiindex import MultiIndexSet
+
+__all__ = ["CartesianExpansion"]
+
+#: chunk size for batched M2L (bounds the (chunk, n, n) temporary)
+_M2L_CHUNK = 1024
+
+
+class CartesianExpansion:
+    """Factory for all expansion operators at a fixed order ``p``."""
+
+    backend = "cartesian"
+
+    def __init__(self, order: int) -> None:
+        if order < 0:
+            raise ValueError(f"order must be >= 0, got {order}")
+        self.order = order
+        self.mis = MultiIndexSet(order)
+        self.mis_big = MultiIndexSet(2 * order)
+        self.mis_plus = MultiIndexSet(order + 1)
+        self._shift_cache: dict[tuple, np.ndarray] = {}
+
+    @property
+    def n_coeffs(self) -> int:
+        return self.mis.n
+
+    # ------------------------------------------------------------------ P2M
+    def p2m(self, points: np.ndarray, strengths: np.ndarray, center: np.ndarray) -> np.ndarray:
+        """Multipole moments of monopole sources about ``center``."""
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        q = np.asarray(strengths, dtype=float).reshape(-1)
+        P = self.mis.powers(np.asarray(center) - pts)  # (n_pts, n_coeffs)
+        return q @ P
+
+    def p2m_dipole(self, points: np.ndarray, moments: np.ndarray, center: np.ndarray) -> np.ndarray:
+        """Multipole moments of dipole sources (field (p . d)/r^3).
+
+        M_alpha = -sum_s sum_k p_k alpha_k (c - x_s)^(alpha - e_k).
+        """
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        p = np.atleast_2d(np.asarray(moments, dtype=float))
+        P = self.mis.powers(np.asarray(center) - pts)
+        M = np.zeros(self.mis.n)
+        for k, (src, dst, coef) in enumerate(self.mis.gradient_tables()):
+            # contribution to coefficient alpha=src from monomial at dst
+            M[src] += -coef * (p[:, k] @ P[:, dst])
+        return M
+
+    # ------------------------------------------------------------------ M2M
+    def m2m(self, moments: np.ndarray, shift: np.ndarray) -> np.ndarray:
+        """Translate moments to a new center: ``shift = c_new - c_old``."""
+        return self._m2m_matrix(shift) @ moments
+
+    def _m2m_matrix(self, shift: np.ndarray) -> np.ndarray:
+        key = ("m2m", tuple(np.round(np.asarray(shift, dtype=float), 15)))
+        mat = self._shift_cache.get(key)
+        if mat is None:
+            mat = self.mis.m2m_matrix(np.asarray(shift, dtype=float))
+            self._shift_cache[key] = mat
+        return mat
+
+    # ------------------------------------------------------------------ M2L
+    def m2l(self, moments: np.ndarray, displacement: np.ndarray) -> np.ndarray:
+        """Convert one multipole to a local expansion.
+
+        ``displacement = z_local - c_multipole`` (from source cell center to
+        target cell center); must be well separated (nonzero).
+        """
+        L = self.m2l_batch(moments[None, :], np.asarray(displacement, dtype=float)[None, :])
+        return L[0]
+
+    def m2l_batch(self, moments: np.ndarray, displacements: np.ndarray) -> np.ndarray:
+        """Batched M2L: row i converts moments[i] across displacements[i].
+
+        L[i, b] = sum_a moments[i, a] * C[a, b] * B[i, idx[a, b]]
+        where B are the order-2p scaled derivative tensors.
+        """
+        M = np.atleast_2d(np.asarray(moments, dtype=float))
+        D = np.atleast_2d(np.asarray(displacements, dtype=float))
+        if M.shape[0] != D.shape[0]:
+            raise ValueError("moments and displacements must align")
+        idx, coef = self.mis.m2l_tables()
+        out = np.empty((M.shape[0], self.mis.n))
+        for lo in range(0, M.shape[0], _M2L_CHUNK):
+            hi = min(lo + _M2L_CHUNK, M.shape[0])
+            B = scaled_derivative_tensors(D[lo:hi], 2 * self.order)
+            # T[i, a, b] = coef[a, b] * B[i, idx[a, b]]
+            T = B[:, idx] * coef[None, :, :]
+            out[lo:hi] = np.einsum("ia,iab->ib", M[lo:hi], T)
+        return out
+
+    # ------------------------------------------------------------------ L2L
+    def l2l(self, local: np.ndarray, shift: np.ndarray) -> np.ndarray:
+        """Translate a local expansion: ``shift = z_new - z_old``."""
+        return self._l2l_matrix(shift) @ local
+
+    def _l2l_matrix(self, shift: np.ndarray) -> np.ndarray:
+        key = ("l2l", tuple(np.round(np.asarray(shift, dtype=float), 15)))
+        mat = self._shift_cache.get(key)
+        if mat is None:
+            mat = self.mis.l2l_matrix(np.asarray(shift, dtype=float))
+            self._shift_cache[key] = mat
+        return mat
+
+    # ------------------------------------------------------------------ L2P
+    def l2p(self, local: np.ndarray, targets: np.ndarray, center: np.ndarray) -> np.ndarray:
+        """Potential of a local expansion at each target, shape (n,)."""
+        P = self.mis.powers(np.atleast_2d(targets) - np.asarray(center))
+        return P @ local
+
+    def l2p_gradient(self, local: np.ndarray, targets: np.ndarray, center: np.ndarray) -> np.ndarray:
+        """Gradient of the local expansion at each target, shape (n, 3)."""
+        y = np.atleast_2d(np.asarray(targets, dtype=float)) - np.asarray(center)
+        P = self.mis.powers(y)
+        grad = np.empty((y.shape[0], 3))
+        for k, (src, dst, coef) in enumerate(self.mis.gradient_tables()):
+            w = np.zeros(self.mis.n)
+            np.add.at(w, dst, coef * local[src])
+            grad[:, k] = P @ w
+        return grad
+
+    # ------------------------------------------------------------------ M2P
+    def m2p(self, moments: np.ndarray, targets: np.ndarray, center: np.ndarray) -> np.ndarray:
+        """Direct far-field evaluation of a multipole at targets (W list)."""
+        d = np.atleast_2d(np.asarray(targets, dtype=float)) - np.asarray(center)
+        B = scaled_derivative_tensors(d, self.order)
+        return B @ moments
+
+    def m2p_gradient(self, moments: np.ndarray, targets: np.ndarray, center: np.ndarray) -> np.ndarray:
+        """Gradient of a multipole evaluation at targets, shape (n, 3).
+
+        d/dy_k phi = sum_alpha M_alpha (alpha_k + 1) b_(alpha + e_k)(y - c).
+        """
+        d = np.atleast_2d(np.asarray(targets, dtype=float)) - np.asarray(center)
+        Bbig = scaled_derivative_tensors(d, self.order + 1)
+        grad = np.empty((d.shape[0], 3))
+        alpha = self.mis.indices
+        for k, (self_idx, raised_idx) in enumerate(self.mis.raise_tables()):
+            coef = (alpha[self_idx, k] + 1).astype(float) * moments[self_idx]
+            grad[:, k] = Bbig[:, raised_idx] @ coef
+        return grad
+
+    # ------------------------------------------------------------------ P2L
+    def p2l(self, points: np.ndarray, strengths: np.ndarray, center: np.ndarray) -> np.ndarray:
+        """Local expansion about ``center`` due to distant monopoles (X list).
+
+        L_beta = sum_i q_i b_beta(z - x_i).
+        """
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        q = np.asarray(strengths, dtype=float).reshape(-1)
+        B = scaled_derivative_tensors(np.asarray(center) - pts, self.order)
+        return q @ B
+
+    def p2l_dipole(self, points: np.ndarray, moments: np.ndarray, center: np.ndarray) -> np.ndarray:
+        """Local expansion due to distant dipoles.
+
+        L_beta = -sum_s sum_k p_k (beta_k + 1) b_(beta + e_k)(z - x_s).
+        """
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        p = np.atleast_2d(np.asarray(moments, dtype=float))
+        Bbig = scaled_derivative_tensors(np.asarray(center) - pts, self.order + 1)
+        L = np.zeros(self.mis.n)
+        beta = self.mis.indices
+        for k, (self_idx, raised_idx) in enumerate(self.mis.raise_tables()):
+            coef = (beta[self_idx, k] + 1).astype(float)
+            L[self_idx] += -coef * (p[:, k] @ Bbig[:, raised_idx])
+        return L

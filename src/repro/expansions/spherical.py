@@ -1,0 +1,413 @@
+"""Solid-harmonic (spherical) expansion operators.
+
+This is the representation named by the paper ("retained terms in the
+spherical harmonics expansion").  We use the scaled complex solid
+harmonics of Epton & Dembart (1995):
+
+    R_n^m(v) = rho^n  P_n^m(cos t) e^{i m p} / (n+m)!      (regular)
+    I_n^m(v) = (n-m)! P_n^m(cos t) e^{i m p} / rho^{n+1}   (irregular)
+
+with P_n^m carrying the Condon–Shortley phase and negative orders defined
+by P_n^{-m} = (-1)^m (n-m)!/(n+m)! P_n^m.  Two addition theorems — both
+verified numerically in the test suite — generate every operator:
+
+    (A) R_n^m(a+b) = sum_{j<=n,k} R_j^k(a) R_{n-j}^{m-k}(b)            (exact)
+    (B) I_n^m(a+b) = sum_{j,k} (-1)^j conj(R_j^k(a)) I_{n+j}^{m+k}(b)  (|a|<|b|)
+
+Conventions used here:
+
+* multipole about c:  phi(y) = sum M_n^m I_n^m(y-c),
+  with  M_n^m = sum_i q_i conj(R_n^m(x_i - c))
+* local about z:      phi(y) = sum L_n^m conj(R_n^m(y-z))
+
+The operator interface matches
+:class:`~repro.expansions.cartesian.CartesianExpansion` so the FMM driver
+can swap backends (the `ablation-expansions` bench).  Gradients in this
+backend use central differences of the (smooth) series — the Cartesian
+backend is the production gradient path.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = ["SphericalExpansion"]
+
+
+def _legendre_table(x: np.ndarray, p: int) -> np.ndarray:
+    """Associated Legendre P_n^m(x) for 0 <= m <= n <= p.
+
+    Shape (p+1, p+1, len(x)); entries with m > n are zero.  Includes the
+    Condon–Shortley phase.
+    """
+    x = np.asarray(x, dtype=float)
+    s = np.sqrt(np.maximum(0.0, 1.0 - x * x))
+    P = np.zeros((p + 1, p + 1) + x.shape)
+    P[0, 0] = 1.0
+    for m in range(1, p + 1):
+        P[m, m] = -(2 * m - 1) * s * P[m - 1, m - 1]
+    for m in range(0, p):
+        P[m + 1, m] = x * (2 * m + 1) * P[m, m]
+    for m in range(0, p + 1):
+        for n in range(m + 2, p + 1):
+            P[n, m] = (x * (2 * n - 1) * P[n - 1, m] - (n + m - 1) * P[n - 2, m]) / (n - m)
+    return P
+
+
+def _spherical_coords(v: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(rho, cos_theta, phi) of each 3-vector (rows)."""
+    v = np.atleast_2d(np.asarray(v, dtype=float))
+    rho = np.sqrt(np.einsum("ij,ij->i", v, v))
+    with np.errstate(invalid="ignore", divide="ignore"):
+        ct = np.where(rho > 0, v[:, 2] / np.where(rho > 0, rho, 1.0), 1.0)
+    phi = np.arctan2(v[:, 1], v[:, 0])
+    return rho, np.clip(ct, -1.0, 1.0), phi
+
+
+@lru_cache(maxsize=None)
+def _nm_index(p: int):
+    """Flattened (n, m) enumeration, -n <= m <= n, n <= p."""
+    ns, ms = [], []
+    pos = {}
+    for n in range(p + 1):
+        for m in range(-n, n + 1):
+            pos[(n, m)] = len(ns)
+            ns.append(n)
+            ms.append(m)
+    return np.array(ns), np.array(ms), pos
+
+
+@lru_cache(maxsize=None)
+def _norm_factors(p: int):
+    """Per-(n, m) scale factors of R (1/(n+m)!) and I ((n-m)!), plus the
+    (-1)^m mirror signs, for m >= 0 entries."""
+    ns, ms, _ = _nm_index(p)
+    r_sc = np.array([1.0 / float(math.factorial(n + abs(m))) for n, m in zip(ns, ms)])
+    i_sc = np.array([float(math.factorial(n - abs(m))) for n, m in zip(ns, ms)])
+    mirror = np.array([(-1.0) ** abs(m) for m in ms])
+    return r_sc, i_sc, mirror
+
+
+def _solid_tables(vectors: np.ndarray, p: int) -> tuple[np.ndarray, np.ndarray]:
+    """(R, I) tables: complex arrays of shape (n_vectors, (p+1)^2).
+
+    I is only valid for nonzero vectors; callers evaluating I pass
+    well-separated displacements.
+    """
+    v = np.atleast_2d(np.asarray(vectors, dtype=float))
+    rho, ct, phi = _spherical_coords(v)
+    P = _legendre_table(ct, p)
+    ns, ms, _ = _nm_index(p)
+    r_sc, i_sc, mirror = _norm_factors(p)
+    npts = v.shape[0]
+    eim = np.exp(1j * np.outer(phi, np.arange(0, p + 1)))
+    with np.errstate(divide="ignore"):
+        log_rho = np.where(rho > 0, rho, 1.0)
+    rho_n = log_rho[:, None] ** np.arange(0, p + 1)[None, :]  # (npts, p+1)
+    rho_zero = rho == 0.0
+    with np.errstate(divide="ignore"):
+        rho_inv = 1.0 / np.where(rho_zero, 1.0, rho)
+    rho_inv_n1 = rho_inv[:, None] ** (np.arange(0, p + 1)[None, :] + 1.0)
+    R = np.empty((npts, len(ns)), dtype=complex)
+    I = np.empty((npts, len(ns)), dtype=complex)
+    for j, (n, m) in enumerate(zip(ns, ms)):
+        am = abs(m)
+        base = P[n, am] * (eim[:, am] if m >= 0 else np.conj(eim[:, am]))
+        if m < 0:
+            base = base * mirror[j]
+        R[:, j] = r_sc[j] * base * rho_n[:, n]
+        I[:, j] = i_sc[j] * base * rho_inv_n1[:, n]
+    if np.any(rho_zero):
+        # R is well defined at 0 (only n=0 survives); I is singular there.
+        R[rho_zero] = 0.0
+        R[rho_zero, 0] = 1.0
+        I[rho_zero] = np.inf
+    return R, I
+
+
+def _regular_table(vectors: np.ndarray, p: int) -> np.ndarray:
+    return _solid_tables(vectors, p)[0]
+
+
+def _irregular_table(vectors: np.ndarray, p: int) -> np.ndarray:
+    return _solid_tables(vectors, p)[1]
+
+
+class SphericalExpansion:
+    """Spherical-harmonic FMM operators of order ``p`` (terms n <= p)."""
+
+    backend = "spherical"
+
+    def __init__(self, order: int) -> None:
+        if order < 0:
+            raise ValueError(f"order must be >= 0, got {order}")
+        self.order = order
+        self.ns, self.ms, self.pos = _nm_index(order)
+        self.n_coeffs = len(self.ns)
+        self._m2m_table = _build_shift_table(order, kind="m2m")
+        self._l2l_table = _build_shift_table(order, kind="l2l")
+        self._m2l_table = _build_m2l_table(order)
+
+    # ------------------------------------------------------------------ P2M
+    def p2m(self, points, strengths, center) -> np.ndarray:
+        """M_n^m = sum_i q_i conj(R_n^m(x_i - c))."""
+        pts = np.atleast_2d(np.asarray(points, dtype=float)) - np.asarray(center)
+        q = np.asarray(strengths, dtype=float).reshape(-1)
+        R = _regular_table(pts, self.order)
+        return q @ np.conj(R)
+
+    def p2m_dipole(self, points, moments, center) -> np.ndarray:
+        """Dipole P2M via the exact two-charge limit (charges ±|p|/(2h) at
+        x ± h p̂ reproduce the dipole field up to O(h^2))."""
+        return _dipole_limit(self.p2m, points, moments, center, self.n_coeffs)
+
+    # ------------------------------------------------------------------ M2M
+    def m2m(self, moments, shift) -> np.ndarray:
+        """Translate multipole by ``shift = c_new - c_old``.
+
+        M_n^m(new) = sum_{j,k} conj(R_j^k(c_old - c_new)) M_{n-j}^{m-k}(old).
+        """
+        t = -np.asarray(shift, dtype=float).reshape(1, 3)
+        Rt = np.conj(_regular_table(t, self.order)[0])
+        out_idx, in_idx, r_idx = self._m2m_table
+        out = np.zeros(self.n_coeffs, dtype=complex)
+        np.add.at(out, out_idx, Rt[r_idx] * moments[in_idx])
+        return out
+
+    # ------------------------------------------------------------------ M2L
+    def m2l(self, moments, displacement) -> np.ndarray:
+        return self.m2l_batch(
+            np.asarray(moments)[None, :], np.asarray(displacement, dtype=float)[None, :]
+        )[0]
+
+    def m2l_batch(self, moments, displacements) -> np.ndarray:
+        """L_j^k = (-1)^j sum_{n,m} M_n^m I_{n+j}^{m+k}(z - c).
+
+        ``displacements[i] = z_local - c_multipole``.
+        """
+        M = np.atleast_2d(np.asarray(moments))
+        D = np.atleast_2d(np.asarray(displacements, dtype=float))
+        I = _irregular_table(D, 2 * self.order)
+        out_idx, in_idx, i_idx, sign = self._m2l_table
+        vals = sign[None, :] * M[:, in_idx] * I[:, i_idx]
+        out = np.zeros((M.shape[0], self.n_coeffs), dtype=complex)
+        np.add.at(out.T, out_idx, vals.T)
+        return out
+
+    # ------------------------------------------------------------------ L2L
+    def l2l(self, local, shift) -> np.ndarray:
+        """Translate local expansion by ``shift = z_new - z_old``.
+
+        L'_j^k = sum_{n>=j} L_n^m conj(R_{n-j}^{m-k}(shift)).
+        """
+        t = np.asarray(shift, dtype=float).reshape(1, 3)
+        Rt = np.conj(_regular_table(t, self.order)[0])
+        out_idx, in_idx, r_idx = self._l2l_table
+        out = np.zeros(self.n_coeffs, dtype=complex)
+        np.add.at(out, out_idx, Rt[r_idx] * local[in_idx])
+        return out
+
+    # ------------------------------------------------------------------ L2P
+    def l2p(self, local, targets, center) -> np.ndarray:
+        """phi(y) = Re sum L_n^m conj(R_n^m(y - z))."""
+        pts = np.atleast_2d(np.asarray(targets, dtype=float)) - np.asarray(center)
+        R = _regular_table(pts, self.order)
+        return np.real(np.conj(R) @ local)
+
+    def l2p_gradient(self, local, targets, center) -> np.ndarray:
+        """Analytic gradient via the regular-harmonic ladder identities
+
+            dz R_n^m = R_{n-1}^m,
+            (dx + i dy) R_n^m = R_{n-1}^{m+1},
+            (dx - i dy) R_n^m = -R_{n-1}^{m-1}
+
+        (verified numerically in the test suite).  The gradient of
+        phi = Re sum L_n^m conj(R_n^m) is evaluated as three derived
+        coefficient vectors against the same conj(R) table.
+        """
+        pts = np.atleast_2d(np.asarray(targets, dtype=float)) - np.asarray(center)
+        Rbar = np.conj(_regular_table(pts, self.order))
+        grads = _regular_gradient_coeffs(self.order, np.asarray(local))
+        out = np.empty((pts.shape[0], 3))
+        for k in range(3):
+            out[:, k] = np.real(Rbar @ grads[k])
+        return out
+
+    # ------------------------------------------------------------------ M2P
+    def m2p(self, moments, targets, center) -> np.ndarray:
+        """phi(y) = Re sum M_n^m I_n^m(y - c)."""
+        pts = np.atleast_2d(np.asarray(targets, dtype=float)) - np.asarray(center)
+        I = _irregular_table(pts, self.order)
+        return np.real(I @ moments)
+
+    def m2p_gradient(self, moments, targets, center) -> np.ndarray:
+        """Analytic gradient via the irregular-harmonic ladder identities
+
+            dz I_n^m = -I_{n+1}^m,
+            (dx + i dy) I_n^m = I_{n+1}^{m+1},
+            (dx - i dy) I_n^m = -I_{n+1}^{m-1}.
+        """
+        pts = np.atleast_2d(np.asarray(targets, dtype=float)) - np.asarray(center)
+        I = _irregular_table(pts, self.order + 1)
+        grads = _irregular_gradient_coeffs(self.order, np.asarray(moments))
+        out = np.empty((pts.shape[0], 3))
+        for k in range(3):
+            out[:, k] = np.real(I @ grads[k])
+        return out
+
+    # ------------------------------------------------------------------ P2L
+    def p2l(self, points, strengths, center) -> np.ndarray:
+        """L_j^k = sum_i q_i (-1)^j I_j^k(z - x_i)."""
+        pts = np.asarray(center) - np.atleast_2d(np.asarray(points, dtype=float))
+        q = np.asarray(strengths, dtype=float).reshape(-1)
+        I = _irregular_table(pts, self.order)
+        signs = (-1.0) ** self.ns
+        return signs * (q @ I)
+
+    def p2l_dipole(self, points, moments, center) -> np.ndarray:
+        return _dipole_limit(self.p2l, points, moments, center, self.n_coeffs)
+
+
+# --------------------------------------------------------------------------
+# table builders
+# --------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=None)
+def _build_shift_table(p: int, *, kind: str):
+    """Flattened (out, in, R-index) triples for M2M ('m2m') or L2L ('l2l').
+
+    m2m:  out (n, m) <- in (n-j, m-k) with factor R-table[(j, k)]
+    l2l:  out (j, k) <- in (n, m)     with factor R-table[(n-j, m-k)]
+    """
+    ns, ms, pos = _nm_index(p)
+    out_idx, in_idx, r_idx = [], [], []
+    for o_lin, (n, m) in enumerate(zip(ns, ms)):
+        for j in range(0, p + 1):
+            for k in range(-j, j + 1):
+                if kind == "m2m":
+                    nn, mm = n - j, m - k
+                    if nn < 0 or abs(mm) > nn:
+                        continue
+                    out_idx.append(o_lin)
+                    in_idx.append(pos[(nn, mm)])
+                    r_idx.append(pos[(j, k)])
+                else:  # l2l: out (n, m) <- in (n', m') with n' >= n
+                    nn, mm = n + j, m + k
+                    if nn > p or abs(mm) > nn:
+                        continue
+                    out_idx.append(o_lin)
+                    in_idx.append(pos[(nn, mm)])
+                    r_idx.append(pos[(j, k)])
+    return np.array(out_idx), np.array(in_idx), np.array(r_idx)
+
+
+@lru_cache(maxsize=None)
+def _build_m2l_table(p: int):
+    """Flattened (out, in, I-index, sign) for the M2L conversion."""
+    ns, ms, pos = _nm_index(p)
+    _, _, pos2 = _nm_index(2 * p)
+    out_idx, in_idx, i_idx, sign = [], [], [], []
+    for j_lin, (j, k) in enumerate(zip(ns, ms)):
+        for n_lin, (n, m) in enumerate(zip(ns, ms)):
+            nm, mm = n + j, m + k
+            if abs(mm) > nm:
+                continue
+            out_idx.append(j_lin)
+            in_idx.append(n_lin)
+            i_idx.append(pos2[(nm, mm)])
+            sign.append((-1.0) ** j)
+    return (
+        np.array(out_idx),
+        np.array(in_idx),
+        np.array(i_idx),
+        np.array(sign),
+    )
+
+
+def _dipole_limit(p2x, points, moments, center, n_coeffs):
+    """Two-charge limit shared by p2m_dipole / p2l_dipole."""
+    pts = np.atleast_2d(np.asarray(points, dtype=float))
+    p = np.atleast_2d(np.asarray(moments, dtype=float))
+    norm = np.linalg.norm(p, axis=1)
+    keep = norm > 0
+    if not np.any(keep):
+        return np.zeros(n_coeffs, dtype=complex)
+    pts, p, norm = pts[keep], p[keep], norm[keep]
+    scale = float(np.max(np.linalg.norm(pts - np.asarray(center), axis=1), initial=1e-3))
+    h = 1e-5 * max(scale, 1e-12)
+    unit = p / norm[:, None]
+    plus = p2x(pts + h * unit, norm / (2 * h), center)
+    minus = p2x(pts - h * unit, -norm / (2 * h), center)
+    return plus + minus
+
+
+def _regular_gradient_coeffs(p: int, local: np.ndarray) -> list[np.ndarray]:
+    """Coefficient vectors G_k with grad_k phi = Re sum G_k conj(R).
+
+    For phi = Re sum L_n^m conj(R_n^m):
+      dx: conj(dx R_n^m) = [conj R_{n-1}^{m+1} - conj R_{n-1}^{m-1}] / 2
+      dy: conj(dy R_n^m) = i [conj R_{n-1}^{m+1} + conj R_{n-1}^{m-1}] / 2
+      dz: conj(dz R_n^m) =  conj R_{n-1}^m
+    """
+    ns, ms, pos = _nm_index(p)
+    gx = np.zeros(len(ns), dtype=complex)
+    gy = np.zeros(len(ns), dtype=complex)
+    gz = np.zeros(len(ns), dtype=complex)
+    for j, (n, m) in enumerate(zip(ns, ms)):
+        L = local[j]
+        if n == 0 or L == 0:
+            continue
+        if abs(m + 1) <= n - 1:
+            tgt = pos[(n - 1, m + 1)]
+            gx[tgt] += L / 2.0
+            gy[tgt] += 1j * L / 2.0
+        if abs(m - 1) <= n - 1:
+            tgt = pos[(n - 1, m - 1)]
+            gx[tgt] -= L / 2.0
+            gy[tgt] += 1j * L / 2.0
+        if abs(m) <= n - 1:
+            gz[pos[(n - 1, m)]] += L
+    return [gx, gy, gz]
+
+
+def _irregular_gradient_coeffs(p: int, moments: np.ndarray) -> list[np.ndarray]:
+    """Coefficient vectors G_k with grad_k phi = Re sum G_k I (order p+1).
+
+    For phi = Re sum M_n^m I_n^m:
+      dx I_n^m = [I_{n+1}^{m+1} - I_{n+1}^{m-1}] / 2
+      dy I_n^m = -i [I_{n+1}^{m+1} + I_{n+1}^{m-1}] / 2
+      dz I_n^m = -I_{n+1}^m
+    """
+    ns, ms, pos = _nm_index(p)
+    _, _, pos_big = _nm_index(p + 1)
+    size = (p + 2) ** 2
+    gx = np.zeros(size, dtype=complex)
+    gy = np.zeros(size, dtype=complex)
+    gz = np.zeros(size, dtype=complex)
+    for j, (n, m) in enumerate(zip(ns, ms)):
+        M = moments[j]
+        if M == 0:
+            continue
+        up = pos_big[(n + 1, m + 1)]
+        dn = pos_big[(n + 1, m - 1)]
+        gx[up] += M / 2.0
+        gx[dn] -= M / 2.0
+        gy[up] += -1j * M / 2.0
+        gy[dn] += -1j * M / 2.0
+        gz[pos_big[(n + 1, m)]] -= M
+    return [gx, gy, gz]
+
+
+def _central_difference(f, targets, rel_h: float = 1e-6):
+    pts = np.atleast_2d(np.asarray(targets, dtype=float))
+    h = rel_h * (1.0 + float(np.max(np.abs(pts))))
+    grad = np.empty((pts.shape[0], 3))
+    for k in range(3):
+        e = np.zeros(3)
+        e[k] = h
+        grad[:, k] = (f(pts + e) - f(pts - e)) / (2 * h)
+    return grad

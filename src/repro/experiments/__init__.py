@@ -1,0 +1,31 @@
+"""Experiment harnesses — one per table/figure of the paper's evaluation.
+
+Every module exposes ``run(...)`` returning structured results and a
+``main()`` that prints the same rows/series the paper reports.  The
+benchmark suite under ``benchmarks/`` wraps these at reduced scale; pass
+larger ``n``/``steps`` to approach the paper's sizes.
+"""
+
+from repro.experiments import (
+    cluster_scaling,
+    fig3_adaptive_cost,
+    fig4_uniform_gap,
+    fig6_cpu_scaling,
+    table1_gpu_scaling,
+    fig7_hetero_speedup,
+    fig8_fig9_table2_strategies,
+    fig10_finegrained,
+    ablations,
+)
+
+__all__ = [
+    "cluster_scaling",
+    "fig3_adaptive_cost",
+    "fig4_uniform_gap",
+    "fig6_cpu_scaling",
+    "table1_gpu_scaling",
+    "fig7_hetero_speedup",
+    "fig8_fig9_table2_strategies",
+    "fig10_finegrained",
+    "ablations",
+]

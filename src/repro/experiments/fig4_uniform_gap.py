@@ -1,0 +1,76 @@
+"""Fig. 4 — the Uniform Gap: three distinct cost regimes under a uniform
+decomposition.
+
+"Since the tree depth is equal everywhere, a uniform 3D spatial
+decomposition increases the number of leaves by a factor of 8 whenever
+N/S exceeds a critical value.  For this reason small changes in S may
+yield large discontinuities in the cost of near-field and far-field
+work, corresponding to removing or adding entire levels of the octree."
+
+The harness sweeps a *dense* ladder of S values over a uniform
+distribution with the fixed-depth octree of the original FMM; the
+resulting times sit on plateaus (one per octree depth) separated by
+jumps at the S values where ceil(log8(N/S)) changes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions.generators import uniform_cube
+from repro.experiments.common import hetero_executor
+from repro.tree.uniform import build_uniform, uniform_depth_for
+from repro.util.records import EventLog
+
+__all__ = ["run", "main"]
+
+
+def run(
+    *,
+    n: int = 20000,
+    s_values: list[int] | None = None,
+    n_cores: int = 10,
+    n_gpus: int = 4,
+    order: int = 4,
+    seed: int = 0,
+) -> EventLog:
+    ps = uniform_cube(n, seed=seed)
+    executor = hetero_executor(n_cores=n_cores, n_gpus=n_gpus, order=order)
+    if s_values is None:
+        s_values = [int(v) for v in np.unique(np.round(np.geomspace(8, 4096, 28)))]
+    log = EventLog()
+    for S in s_values:
+        depth = uniform_depth_for(n, S)
+        tree = build_uniform(ps.positions, depth=depth)
+        timing = executor.time_step(tree)
+        log.add(
+            S=S,
+            depth=depth,
+            cpu_time=timing.cpu_time,
+            gpu_time=timing.gpu_time,
+            compute_time=timing.compute_time,
+            n_leaves=len(tree.leaves()),
+        )
+    return log
+
+
+def regimes(log: EventLog) -> dict[int, float]:
+    """Mean compute time per octree depth — the plateaus of Fig. 4."""
+    out: dict[int, list[float]] = {}
+    for rec in log:
+        out.setdefault(rec["depth"], []).append(rec["compute_time"])
+    return {d: float(np.mean(v)) for d, v in sorted(out.items())}
+
+
+def main(**kwargs) -> EventLog:
+    log = run(**kwargs)
+    print("Fig. 4 — uniform decomposition: distinct cost regimes vs S")
+    print(log.to_table(["S", "depth", "cpu_time", "gpu_time", "compute_time", "n_leaves"]))
+    print("\nregime means (per depth):")
+    for depth, mean in regimes(log).items():
+        print(f"  depth {depth}: {mean:.6g} s")
+    return log
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""The adaptive FMM driver: upward sweep, translation phase, downward
+sweep, and near-field evaluation, with per-operation counting."""
+
+from repro.fmm.evaluator import FMMSolver, FMMResult
+from repro.fmm.accuracy import relative_error, accuracy_report
+
+__all__ = ["FMMSolver", "FMMResult", "relative_error", "accuracy_report"]

@@ -1,0 +1,59 @@
+"""Accuracy utilities: FMM-vs-direct error measurement."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import Kernel
+from repro.kernels.direct import direct_evaluate
+
+__all__ = ["relative_error", "accuracy_report"]
+
+
+def relative_error(approx: np.ndarray, exact: np.ndarray) -> float:
+    """Relative L2 error ||approx - exact|| / ||exact||."""
+    approx = np.asarray(approx, dtype=float)
+    exact = np.asarray(exact, dtype=float)
+    denom = float(np.linalg.norm(exact))
+    if denom == 0.0:
+        return float(np.linalg.norm(approx))
+    return float(np.linalg.norm(approx - exact) / denom)
+
+
+def accuracy_report(
+    kernel: Kernel,
+    points: np.ndarray,
+    strengths: np.ndarray,
+    result,
+    *,
+    sample: int | None = None,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Compare an :class:`~repro.fmm.evaluator.FMMResult` against direct sums.
+
+    For large N a random ``sample`` of targets keeps the O(N^2) reference
+    affordable; errors are reported over that sample.
+    """
+    pts = np.atleast_2d(np.asarray(points, dtype=float))
+    n = pts.shape[0]
+    idx = np.arange(n)
+    if sample is not None and sample < n:
+        idx = np.random.default_rng(seed).choice(n, size=sample, replace=False)
+    exact_pot = direct_evaluate(kernel, pts[idx], pts, strengths, exclude_self=False)
+    # remove self contribution: targets are a subset of sources
+    exact_pot -= _self_rows(kernel, pts, strengths, idx, gradient=False)
+    out = {"potential_rel_err": relative_error(_rows(result.potential, idx), exact_pot.squeeze())}
+    if result.gradient is not None:
+        exact_grad = direct_evaluate(kernel, pts[idx], pts, strengths, gradient=True)
+        exact_grad -= _self_rows(kernel, pts, strengths, idx, gradient=True)
+        out["gradient_rel_err"] = relative_error(result.gradient[idx], exact_grad)
+    return out
+
+
+def _rows(arr: np.ndarray, idx: np.ndarray) -> np.ndarray:
+    return np.asarray(arr)[idx]
+
+
+def _self_rows(kernel, pts, strengths, idx, *, gradient):
+    full = kernel.self_interaction(pts[idx], np.asarray(strengths)[idx], gradient=gradient)
+    return full

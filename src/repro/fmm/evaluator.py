@@ -1,0 +1,158 @@
+"""The adaptive FMM solve.
+
+One :meth:`FMMSolver.solve` call performs the full algorithm of §I-C on an
+:class:`~repro.tree.octree.AdaptiveOctree`:
+
+1. **Upward sweep** — P2M at every leaf, M2M combining children into
+   parents, deepest level first.
+2. **Translation** — M2L across every node's V list (batched across all
+   pairs), plus P2L from X lists when running the un-folded CGR scheme.
+3. **Downward sweep** — L2L from parents to children, L2P at leaves,
+   plus M2P from W lists in the un-folded scheme.
+4. **Near field** — dense P2P between every leaf and its near-field
+   sources (exact kernel arithmetic).
+
+The solver also returns the per-operation application counts, which are
+what the paper's cost model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.expansions.cartesian import CartesianExpansion
+from repro.fmm.multipass import laplace_far_field
+from repro.kernels.base import Kernel
+from repro.kernels.direct import p2p_pair, p2p_self
+from repro.tree.lists import InteractionLists, build_interaction_lists
+from repro.tree.octree import AdaptiveOctree
+
+__all__ = ["FMMSolver", "FMMResult"]
+
+
+@dataclass
+class FMMResult:
+    """Output of one FMM solve."""
+
+    potential: np.ndarray  # (n,) scalar kernels; (n, 3) vector kernels
+    gradient: np.ndarray | None  # (n, 3) when requested
+    op_counts: dict[str, int]
+    lists: InteractionLists
+    #: near/far split of the potential for diagnostics
+    near_potential: np.ndarray | None = None
+    far_potential: np.ndarray | None = None
+
+
+class FMMSolver:
+    """Adaptive FMM driver for a kernel and an expansion backend."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        *,
+        order: int = 4,
+        expansion=None,
+        folded: bool = True,
+    ) -> None:
+        self.kernel = kernel
+        self.expansion = expansion if expansion is not None else CartesianExpansion(order)
+        self.order = self.expansion.order
+        self.folded = folded
+
+    # ----------------------------------------------------------------- solve
+    def solve(
+        self,
+        tree: AdaptiveOctree,
+        strengths: np.ndarray,
+        *,
+        gradient: bool = False,
+        potential: bool = True,
+        lists: InteractionLists | None = None,
+        keep_split: bool = False,
+    ) -> FMMResult:
+        """Evaluate the kernel field at every body in ``tree``.
+
+        ``lists`` may be passed in when the caller already built them for
+        the current tree configuration (the balancer reuses them).
+        ``potential=False`` (with ``gradient=True``) skips the potential
+        arithmetic in the near field — the time-stepping driver only needs
+        accelerations, and the near field dominates the solve.
+        """
+        if not potential and not gradient:
+            raise ValueError("at least one of potential/gradient must be requested")
+        if not self.kernel.supports_multipole:
+            raise ValueError(
+                f"kernel {self.kernel.name!r} has no multipole far field; "
+                "use CompositeStokesletSolver or direct evaluation"
+            )
+        if lists is None:
+            lists = build_interaction_lists(tree, folded=self.folded)
+        q = np.asarray(strengths, dtype=float).reshape(-1)
+        if q.shape[0] != tree.n_bodies:
+            raise ValueError("strengths must have one entry per body")
+
+        far_pot, far_grad = self._far_field(tree, lists, q, gradient, potential)
+        near_pot, near_grad = self._near_field(tree, lists, q, gradient, potential)
+
+        pot_total = None
+        if potential:
+            pot_total = self.kernel.laplace_scale * far_pot + near_pot
+        grad_total = None
+        if gradient:
+            grad_total = self.kernel.laplace_gradient_scale * far_grad + near_grad
+        return FMMResult(
+            potential=pot_total,
+            gradient=grad_total,
+            op_counts=lists.op_counts(),
+            lists=lists,
+            near_potential=near_pot if (keep_split and potential) else None,
+            far_potential=(
+                self.kernel.laplace_scale * far_pot if (keep_split and potential) else None
+            ),
+        )
+
+    # ------------------------------------------------------------- far field
+    def _far_field(self, tree, lists, q, want_gradient, want_potential=True):
+        return laplace_far_field(
+            tree,
+            lists,
+            self.expansion,
+            charges=q,
+            gradient=want_gradient,
+            potential=want_potential,
+        )
+
+    # ------------------------------------------------------------ near field
+    def _near_field(self, tree, lists, q, want_gradient, want_potential=True):
+        kernel = self.kernel
+        pts = tree.points
+        dim = kernel.value_dim
+        pot = None
+        if want_potential:
+            pot = np.zeros(tree.n_bodies) if dim == 1 else np.zeros((tree.n_bodies, dim))
+        grad = np.zeros((tree.n_bodies, 3)) if want_gradient else None
+        for t, sources in lists.near_sources.items():
+            t_idx = tree.bodies(t)
+            if t_idx.size == 0:
+                continue
+            tgt = pts[t_idx]
+            # gather all non-self sources into one dense block
+            other = [s for s in sources if s != t]
+            if other:
+                s_idx = np.concatenate([tree.bodies(s) for s in other])
+                src = pts[s_idx]
+                qs = q[s_idx]
+                if want_potential:
+                    block = p2p_pair(kernel, tgt, src, qs)
+                    pot[t_idx] += block[:, 0] if dim == 1 else block
+                if want_gradient:
+                    grad[t_idx] += kernel.gradient(tgt, src, qs)
+            if t in sources:
+                if want_potential:
+                    block = p2p_self(kernel, tgt, q[t_idx])
+                    pot[t_idx] += block[:, 0] if dim == 1 else block
+                if want_gradient:
+                    grad[t_idx] += kernel.gradient(tgt, tgt, q[t_idx], exclude_self=True)
+        return pot, grad

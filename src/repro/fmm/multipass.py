@@ -1,0 +1,123 @@
+"""Reusable Laplace far-field sweep with monopole and dipole sources.
+
+The FMM far field for
+
+    phi(t) = sum_s q_s / |t - s|  +  sum_s (p_s . (t - s)) / |t - s|^3
+
+is one upward sweep + M2L translation + downward sweep on a given tree and
+interaction lists.  :class:`~repro.fmm.evaluator.FMMSolver` uses this for
+its single-charge pass, and the composite Stokeslet solver
+(:mod:`repro.kernels.stokeslet_fmm`) runs several passes with different
+monopole/dipole channels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tree.lists import InteractionLists
+from repro.tree.octree import AdaptiveOctree
+
+__all__ = ["laplace_far_field"]
+
+
+def laplace_far_field(
+    tree: AdaptiveOctree,
+    lists: InteractionLists,
+    expansion,
+    *,
+    charges: np.ndarray | None = None,
+    dipoles: np.ndarray | None = None,
+    gradient: bool = False,
+    potential: bool = True,
+) -> tuple[np.ndarray | None, np.ndarray | None]:
+    """Far-field potential/gradient of monopoles and/or dipoles.
+
+    ``charges`` is (n,) monopole strengths; ``dipoles`` is (n, 3) dipole
+    moments (field (p . d)/r^3).  Either may be None.  Returns
+    ``(potential, gradient)`` with the unrequested entry None.
+    """
+    if charges is None and dipoles is None:
+        raise ValueError("provide charges and/or dipoles")
+    pts = tree.points
+    nodes = tree.nodes
+    eff = tree.effective_nodes()
+    leaves = [nid for nid in eff if nodes[nid].is_leaf]
+    internal = [nid for nid in eff if not nodes[nid].is_leaf]
+    exp = expansion
+
+    dtype = complex if exp.backend == "spherical" else float
+    multipoles: dict[int, np.ndarray] = {}
+    locals_: dict[int, np.ndarray] = {nid: np.zeros(exp.n_coeffs, dtype=dtype) for nid in eff}
+
+    def p2m_node(idx, center):
+        M = np.zeros(exp.n_coeffs, dtype=dtype)
+        if charges is not None:
+            M = M + exp.p2m(pts[idx], charges[idx], center)
+        if dipoles is not None:
+            M = M + exp.p2m_dipole(pts[idx], dipoles[idx], center)
+        return M
+
+    def p2l_node(idx, center):
+        L = np.zeros(exp.n_coeffs, dtype=dtype)
+        if charges is not None:
+            L = L + exp.p2l(pts[idx], charges[idx], center)
+        if dipoles is not None:
+            L = L + exp.p2l_dipole(pts[idx], dipoles[idx], center)
+        return L
+
+    # ---- upward sweep
+    for nid in leaves:
+        multipoles[nid] = p2m_node(tree.bodies(nid), nodes[nid].center)
+    for nid in sorted(internal, key=lambda n: -nodes[n].level):
+        M = np.zeros(exp.n_coeffs, dtype=dtype)
+        for cid in tree.effective_children(nid):
+            M += exp.m2m(multipoles[cid], nodes[nid].center - nodes[cid].center)
+        multipoles[nid] = M
+
+    # ---- V phase (batched M2L)
+    pair_targets: list[int] = []
+    pair_sources: list[int] = []
+    for nid in eff:
+        for src in lists.v_list.get(nid, ()):
+            pair_targets.append(nid)
+            pair_sources.append(src)
+    if pair_targets:
+        M_stack = np.stack([multipoles[s] for s in pair_sources])
+        D = np.stack(
+            [nodes[t].center - nodes[s].center for t, s in zip(pair_targets, pair_sources)]
+        )
+        L_stack = exp.m2l_batch(M_stack, D)
+        for row, t in enumerate(pair_targets):
+            locals_[t] += L_stack[row]
+
+    # ---- X phase (un-folded scheme)
+    for recv, xs in lists.x_list.items():
+        for x in xs:
+            locals_[recv] += p2l_node(tree.bodies(x), nodes[recv].center)
+
+    # ---- downward sweep (eff is preorder: parents first)
+    for nid in eff:
+        for cid in tree.effective_children(nid):
+            locals_[cid] += exp.l2l(locals_[nid], nodes[cid].center - nodes[nid].center)
+
+    # ---- leaf evaluation: L2P plus (un-folded) M2P
+    pot = np.zeros(tree.n_bodies) if potential else None
+    grad = np.zeros((tree.n_bodies, 3)) if gradient else None
+    for nid in leaves:
+        idx = tree.bodies(nid)
+        if idx.size == 0:
+            continue
+        tgt = pts[idx]
+        if potential:
+            pot[idx] += np.real(exp.l2p(locals_[nid], tgt, nodes[nid].center))
+        if gradient:
+            grad[idx] += np.real(exp.l2p_gradient(locals_[nid], tgt, nodes[nid].center))
+        for wnode in lists.w_list.get(nid, ()):
+            if potential:
+                pot[idx] += np.real(exp.m2p(multipoles[wnode], tgt, nodes[wnode].center))
+            if gradient:
+                grad[idx] += np.real(
+                    exp.m2p_gradient(multipoles[wnode], tgt, nodes[wnode].center)
+                )
+    return pot, grad

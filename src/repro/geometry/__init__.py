@@ -1,0 +1,35 @@
+"""Geometric primitives: axis-aligned boxes, Morton keys, octant math."""
+
+from repro.geometry.box import Box, bounding_box, cube_containing
+from repro.geometry.morton import (
+    MAX_MORTON_LEVEL,
+    decode_morton,
+    encode_morton,
+    interleave3,
+    deinterleave3,
+    morton_keys,
+)
+from repro.geometry.octant import (
+    child_box,
+    child_octant_of_points,
+    octant_offset,
+    boxes_adjacent,
+    well_separated,
+)
+
+__all__ = [
+    "Box",
+    "bounding_box",
+    "cube_containing",
+    "MAX_MORTON_LEVEL",
+    "encode_morton",
+    "decode_morton",
+    "interleave3",
+    "deinterleave3",
+    "morton_keys",
+    "child_box",
+    "child_octant_of_points",
+    "octant_offset",
+    "boxes_adjacent",
+    "well_separated",
+]

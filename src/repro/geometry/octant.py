@@ -1,0 +1,74 @@
+"""Octant arithmetic and cell adjacency predicates.
+
+``well_separated`` encodes the FMM acceptance criterion used throughout:
+two cubes are well separated when they are not adjacent (do not touch,
+with a one-cell buffer at equal size).  The adaptive interaction lists in
+:mod:`repro.tree.lists` build on these predicates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.box import Box
+
+__all__ = [
+    "octant_offset",
+    "child_box",
+    "child_octant_of_points",
+    "boxes_adjacent",
+    "well_separated",
+]
+
+#: Unit offsets of the 8 octants; row i is the sign pattern of octant i.
+_OCTANT_SIGNS = np.array(
+    [[(1 if o & 1 else -1), (1 if o & 2 else -1), (1 if o & 4 else -1)] for o in range(8)],
+    dtype=float,
+)
+
+
+def octant_offset(octant: int) -> np.ndarray:
+    """Sign vector (±1, ±1, ±1) of child ``octant`` relative to the parent."""
+    if not 0 <= octant < 8:
+        raise ValueError(f"octant must be in 0..7, got {octant}")
+    return _OCTANT_SIGNS[octant].copy()
+
+
+def child_box(parent: Box, octant: int) -> Box:
+    """Cube of child ``octant`` of ``parent`` (delegates to :meth:`Box.child`)."""
+    return parent.child(octant)
+
+
+def child_octant_of_points(points: np.ndarray, center: np.ndarray) -> np.ndarray:
+    """Octant index (0..7) of each point relative to ``center``.
+
+    Bit k of the result is set when coordinate k is >= center[k]; this is
+    consistent with :meth:`Box.child`.
+    """
+    pts = np.atleast_2d(points)
+    c = np.asarray(center)
+    oct_idx = (
+        (pts[:, 0] >= c[0]).astype(np.int8)
+        | ((pts[:, 1] >= c[1]).astype(np.int8) << 1)
+        | ((pts[:, 2] >= c[2]).astype(np.int8) << 2)
+    )
+    return oct_idx
+
+
+def boxes_adjacent(a: Box, b: Box, *, rtol: float = 1e-9) -> bool:
+    """True when cubes ``a`` and ``b`` touch or overlap.
+
+    Two cubes touch when along every axis the center distance is at most
+    the sum of the half sizes (within a relative tolerance that absorbs
+    floating-point drift from repeated halving).
+    """
+    ca = np.asarray(a.center)
+    cb = np.asarray(b.center)
+    limit = (a.size + b.size) / 2.0
+    tol = rtol * max(a.size, b.size)
+    return bool(np.all(np.abs(ca - cb) <= limit + tol))
+
+
+def well_separated(a: Box, b: Box, *, rtol: float = 1e-9) -> bool:
+    """FMM acceptance: cubes are well separated iff they are not adjacent."""
+    return not boxes_adjacent(a, b, rtol=rtol)

@@ -1,0 +1,14 @@
+"""GPU device model: the paper's tiled all-pairs P2P kernel (§III-C) as a
+warp/block-level timing model, plus the multi-GPU work partitioner."""
+
+from repro.gpu.model import GPUSpec, GPUKernelModel, KernelTiming
+from repro.gpu.partition import partition_targets, NearFieldWorkItem, near_field_work_items
+
+__all__ = [
+    "GPUSpec",
+    "GPUKernelModel",
+    "KernelTiming",
+    "partition_targets",
+    "NearFieldWorkItem",
+    "near_field_work_items",
+]

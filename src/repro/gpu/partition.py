@@ -1,0 +1,72 @@
+"""Near-field work description and the paper's multi-GPU partitioner.
+
+§III-C: "we divide up the work so that each GPU carries out approximately
+the same number of interactions.  The implementation simply walks through
+the list of interaction node pairs and counts Interactions(t) for each
+target node.  When the count meets or exceeds the total number of direct
+interactions divided by the number of GPUs we start counting work to send
+to the next GPU. ... There is no target node whose calculations are spread
+out over more than one GPU."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tree.lists import InteractionLists
+
+__all__ = ["NearFieldWorkItem", "near_field_work_items", "partition_targets"]
+
+
+@dataclass(frozen=True)
+class NearFieldWorkItem:
+    """One target node's direct work: its population and its source sizes."""
+
+    target: int
+    n_targets: int
+    source_counts: tuple[int, ...]
+
+    @property
+    def n_sources(self) -> int:
+        return sum(self.source_counts)
+
+    @property
+    def interactions(self) -> int:
+        """Interactions(t) = p_t * sum_{i in IL(t)} p_i (paper §III-C)."""
+        return self.n_targets * self.n_sources
+
+
+def near_field_work_items(lists: InteractionLists) -> list[NearFieldWorkItem]:
+    """One work item per target leaf, in tree (Morton) order."""
+    tree = lists.tree
+    items = []
+    for t in sorted(lists.near_sources, key=lambda nid: tree.nodes[nid].lo):
+        nt = tree.nodes[t].count
+        if nt == 0:
+            continue
+        counts = tuple(tree.nodes[s].count for s in lists.near_sources[t] if tree.nodes[s].count)
+        items.append(NearFieldWorkItem(target=t, n_targets=nt, source_counts=counts))
+    return items
+
+
+def partition_targets(items: list[NearFieldWorkItem], n_gpus: int) -> list[list[NearFieldWorkItem]]:
+    """Split work items over ``n_gpus`` by the paper's greedy walk.
+
+    Each GPU receives a contiguous run of target nodes whose cumulative
+    interaction count meets or exceeds total/n_gpus; no target is split.
+    """
+    if n_gpus < 1:
+        raise ValueError(f"n_gpus must be >= 1, got {n_gpus}")
+    parts: list[list[NearFieldWorkItem]] = [[] for _ in range(n_gpus)]
+    total = sum(it.interactions for it in items)
+    if total == 0:
+        return parts
+    share = total / n_gpus
+    gpu = 0
+    acc = 0
+    for it in items:
+        parts[gpu].append(it)
+        acc += it.interactions
+        if acc >= share * (gpu + 1) and gpu < n_gpus - 1:
+            gpu += 1
+    return parts

@@ -1,0 +1,20 @@
+"""Interaction kernels: exact pairwise physics plus per-kernel cost profiles."""
+
+from repro.kernels.base import Kernel, KernelCostProfile
+from repro.kernels.laplace import GravityKernel, LaplaceKernel
+from repro.kernels.stokeslet import RegularizedStokesletKernel
+from repro.kernels.stokeslet_fmm import StokesletFMMResult, StokesletFMMSolver
+from repro.kernels.direct import direct_evaluate, p2p_pair, p2p_self
+
+__all__ = [
+    "Kernel",
+    "KernelCostProfile",
+    "LaplaceKernel",
+    "GravityKernel",
+    "RegularizedStokesletKernel",
+    "StokesletFMMResult",
+    "StokesletFMMSolver",
+    "direct_evaluate",
+    "p2p_pair",
+    "p2p_self",
+]

@@ -1,0 +1,71 @@
+"""Direct (all-pairs) evaluation helpers.
+
+These are the numerical work-horses of the near field: the FMM's P2P phase
+reduces to many (target-block, source-block) dense interactions, evaluated
+here with chunking so memory stays bounded at large N.  ``direct_evaluate``
+is also the brute-force reference against which FMM accuracy is tested.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import Kernel
+
+__all__ = ["direct_evaluate", "p2p_pair", "p2p_self"]
+
+#: Target-chunk size bounding the (chunk x n_sources) temporary.
+_CHUNK = 2048
+
+
+def direct_evaluate(
+    kernel: Kernel,
+    targets: np.ndarray,
+    sources: np.ndarray,
+    strengths: np.ndarray,
+    *,
+    gradient: bool = False,
+    exclude_self: bool = False,
+    chunk: int = _CHUNK,
+) -> np.ndarray:
+    """All-pairs field (or gradient) at every target, chunked over targets.
+
+    ``exclude_self`` assumes targets and sources are the *same* array (in
+    the same order) and removes each body's self contribution.
+    """
+    t = np.atleast_2d(np.asarray(targets, dtype=float))
+    nt = t.shape[0]
+    dim = 3 if (gradient or kernel.value_dim == 3) else kernel.value_dim
+    out = np.zeros((nt, dim))
+    fn = kernel.gradient if gradient else kernel.evaluate
+    for lo in range(0, nt, chunk):
+        hi = min(lo + chunk, nt)
+        out[lo:hi] = fn(t[lo:hi], sources, strengths, exclude_self=False)
+    if exclude_self:
+        out -= kernel.self_interaction(t, strengths, gradient=gradient)
+    return out
+
+
+def p2p_pair(
+    kernel: Kernel,
+    targets: np.ndarray,
+    sources: np.ndarray,
+    strengths: np.ndarray,
+    *,
+    gradient: bool = False,
+) -> np.ndarray:
+    """Dense interaction of a disjoint (target node, source node) pair."""
+    fn = kernel.gradient if gradient else kernel.evaluate
+    return fn(targets, sources, strengths, exclude_self=False)
+
+
+def p2p_self(
+    kernel: Kernel,
+    points: np.ndarray,
+    strengths: np.ndarray,
+    *,
+    gradient: bool = False,
+) -> np.ndarray:
+    """Interaction of a node's bodies with themselves, self term excluded."""
+    fn = kernel.gradient if gradient else kernel.evaluate
+    return fn(points, points, strengths, exclude_self=True)

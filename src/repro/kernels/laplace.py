@@ -1,0 +1,132 @@
+"""Laplace / Newtonian gravity kernels.
+
+``LaplaceKernel`` computes the bare 1/r potential and its gradient;
+``GravityKernel`` wraps it with a gravitational constant and optional
+Plummer softening so the leapfrog dynamics of the time-dependent
+experiments stay well behaved through close encounters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import Kernel, KernelCostProfile
+
+__all__ = ["LaplaceKernel", "GravityKernel"]
+
+
+class LaplaceKernel(Kernel):
+    """phi(t) = sum_s q_s / |t - s|, grad = -sum_s q_s (t-s)/|t-s|^3."""
+
+    name = "laplace"
+    value_dim = 1
+    strength_dim = 1
+    supports_multipole = True
+
+    def __init__(self, *, softening: float = 0.0) -> None:
+        if softening < 0:
+            raise ValueError("softening must be non-negative")
+        self.softening = float(softening)
+
+    @property
+    def laplace_scale(self) -> float:
+        return 1.0
+
+    @property
+    def laplace_gradient_scale(self) -> float:
+        return 1.0
+
+    def evaluate(self, targets, sources, strengths, *, exclude_self=False):
+        t = np.atleast_2d(np.asarray(targets, dtype=float))
+        s = np.atleast_2d(np.asarray(sources, dtype=float))
+        q = np.asarray(strengths, dtype=float).reshape(-1)
+        d = t[:, None, :] - s[None, :, :]
+        r2 = np.einsum("tsk,tsk->ts", d, d) + self.softening**2
+        inv_r = _safe_inv_sqrt(r2, exclude_self=exclude_self, square=(t.shape[0] == s.shape[0]))
+        return (inv_r @ q)[:, None]
+
+    def gradient(self, targets, sources, strengths, *, exclude_self=False):
+        t = np.atleast_2d(np.asarray(targets, dtype=float))
+        s = np.atleast_2d(np.asarray(sources, dtype=float))
+        q = np.asarray(strengths, dtype=float).reshape(-1)
+        d = t[:, None, :] - s[None, :, :]
+        r2 = np.einsum("tsk,tsk->ts", d, d) + self.softening**2
+        inv_r = _safe_inv_sqrt(r2, exclude_self=exclude_self, square=(t.shape[0] == s.shape[0]))
+        inv_r3 = inv_r**3
+        # grad phi = -sum q (t - s) / r^3
+        return -np.einsum("ts,tsk->tk", inv_r3 * q[None, :], d)
+
+    def self_interaction(self, positions, strengths, *, gradient=False):
+        pts = np.atleast_2d(np.asarray(positions, dtype=float))
+        n = pts.shape[0]
+        if gradient:
+            return np.zeros((n, 3))  # d = 0 kills the softened gradient too
+        out = np.zeros((n, 1))
+        if self.softening > 0:
+            q = np.asarray(strengths, dtype=float).reshape(-1)
+            out[:, 0] = q / self.softening
+        return out
+
+    def interaction_flops(self) -> float:
+        return 20.0
+
+    @property
+    def cost_profile(self) -> KernelCostProfile:
+        return KernelCostProfile({})
+
+
+class GravityKernel(LaplaceKernel):
+    """Gravitational potential and acceleration.
+
+    ``evaluate`` returns the gravitational potential
+    phi_g = -G sum m_s / r (negative); ``gradient`` returns the
+    *acceleration* a = -grad phi_g = G sum m_s (s - t)/r^3 — the quantity
+    the integrator consumes — which equals +G times the raw Laplace
+    gradient grad(sum m/r).
+    """
+
+    name = "gravity"
+
+    def __init__(self, *, G: float = 1.0, softening: float = 0.0) -> None:
+        super().__init__(softening=softening)
+        self.G = float(G)
+
+    @property
+    def laplace_scale(self) -> float:
+        return -self.G
+
+    @property
+    def laplace_gradient_scale(self) -> float:
+        return self.G
+
+    def evaluate(self, targets, sources, strengths, *, exclude_self=False):
+        return -self.G * super().evaluate(
+            targets, sources, strengths, exclude_self=exclude_self
+        )
+
+    def gradient(self, targets, sources, strengths, *, exclude_self=False):
+        # acceleration = -grad(phi_g) = +G * grad(sum m / r)
+        return self.G * super().gradient(
+            targets, sources, strengths, exclude_self=exclude_self
+        )
+
+    def self_interaction(self, positions, strengths, *, gradient=False):
+        scale = self.G if gradient else -self.G
+        return scale * super().self_interaction(
+            positions, strengths, gradient=gradient
+        )
+
+
+def _safe_inv_sqrt(r2: np.ndarray, *, exclude_self: bool, square: bool) -> np.ndarray:
+    """1/sqrt(r2) with zero distance mapped to zero contribution.
+
+    When ``exclude_self`` and the block is square, the diagonal is zeroed
+    explicitly; otherwise only exact zero separations are suppressed (which
+    removes a body's self-interaction in same-node P2P).
+    """
+    with np.errstate(divide="ignore"):
+        inv = 1.0 / np.sqrt(r2)
+    inv[~np.isfinite(inv)] = 0.0
+    if exclude_self and square:
+        np.fill_diagonal(inv, 0.0)
+    return inv

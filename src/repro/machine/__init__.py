@@ -1,0 +1,15 @@
+"""Heterogeneous machine model: CPU + multi-GPU node descriptions and the
+executor that runs real FMM numerics while charging modeled time."""
+
+from repro.machine.spec import MachineSpec, system_a, system_b, cpu_only, single_core
+from repro.machine.executor import HeterogeneousExecutor, StepTiming
+
+__all__ = [
+    "MachineSpec",
+    "system_a",
+    "system_b",
+    "cpu_only",
+    "single_core",
+    "HeterogeneousExecutor",
+    "StepTiming",
+]

@@ -1,0 +1,119 @@
+"""Calibration utilities for the machine model.
+
+The DESIGN.md substitution table replaces the paper's Xeon+Tesla node with
+a parametric model; these helpers expose the derived quantities that the
+calibration was matched against and let users re-calibrate for their own
+"what-if" machines:
+
+* :func:`gpu_peak_interaction_rate` — interactions/second of a GPU spec at
+  full occupancy (the quantity behind the paper's GPU P2P coefficient);
+* :func:`cpu_flop_rate` — aggregate effective FLOP rate of a CPU pool;
+* :func:`expansion_floor_seconds` — the per-step CPU floor from the
+  per-body P2M/L2P work (§VIII-E: the reason extra GPUs stop helping an
+  underpowered CPU);
+* :func:`estimate_crossover_s` — where the CPU and GPU cost curves should
+  cross for a given problem size, a coarse a-priori guess the Search state
+  refines;
+* :func:`solve_body_cycles_for_ratio` — pick the GPU ``body_cycles`` that
+  yields a target GPU:single-core throughput ratio.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.costmodel.flops import atomic_units
+from repro.gpu.model import GPUSpec
+from repro.kernels.base import Kernel
+from repro.runtime.scheduler import CPUSpec
+
+__all__ = [
+    "gpu_peak_interaction_rate",
+    "cpu_flop_rate",
+    "cpu_interaction_rate",
+    "expansion_floor_seconds",
+    "estimate_crossover_s",
+    "solve_body_cycles_for_ratio",
+]
+
+
+def gpu_peak_interaction_rate(spec: GPUSpec) -> float:
+    """Interactions/second at full blocks and negligible load overhead.
+
+    Each SM runs one block at a time; a full block advances
+    ``block_size`` interactions every ``(block_size/warp_size) * body_cycles``
+    cycles, i.e. ``warp_size / body_cycles`` interactions per cycle per SM.
+    """
+    per_sm = spec.warp_size / spec.body_cycles
+    return per_sm * spec.n_sms * spec.clock_hz
+
+
+def cpu_flop_rate(spec: CPUSpec, n_cores: int | None = None) -> float:
+    """Aggregate effective FLOP rate of ``n_cores`` (with cache bonus)."""
+    k = spec.n_cores if n_cores is None else n_cores
+    return spec.core_rate(k) * k
+
+
+def cpu_interaction_rate(spec: CPUSpec, kernel: Kernel | None = None, n_cores: int | None = None) -> float:
+    """P2P interactions/second when the near field runs on the CPU."""
+    flops = kernel.interaction_flops() if kernel is not None else 20.0
+    return cpu_flop_rate(spec, n_cores) / flops
+
+
+def expansion_floor_seconds(
+    spec: CPUSpec, n_bodies: int, order: int, *, kernel: Kernel | None = None, n_cores: int | None = None
+) -> float:
+    """Per-step CPU time floor from per-body P2M + L2P work.
+
+    This floor is independent of S: no matter how much work is shifted to
+    the GPUs, every body must still be scattered into a multipole and
+    gathered from a local expansion on the CPU (§VIII-E's limiting factor;
+    the paper's proposed remedy is moving P2M/L2P to the GPU too).
+    """
+    units = atomic_units(order, kernel)
+    per_body = units["P2M"] + units["L2P"]
+    return per_body * n_bodies / cpu_flop_rate(spec, n_cores)
+
+
+def estimate_crossover_s(
+    cpu: CPUSpec,
+    gpu: GPUSpec,
+    *,
+    n_gpus: int,
+    n_bodies: int,
+    order: int,
+    kernel: Kernel | None = None,
+    neighborhood: float = 27.0,
+    n_cores: int | None = None,
+) -> int:
+    """Coarse a-priori estimate of the balanced leaf capacity S*.
+
+    Model: near-field interactions ~ neighborhood * S * N evaluated at
+    ``n_gpus`` x the GPU peak rate; far-field work ~ M2L-dominated with
+    ~189 translations per node and ~N/S nodes.  Equating the two gives
+
+        S* ~ sqrt( 189 * u_M2L * R_gpu * n_gpus / (neighborhood * R_cpu) )
+
+    The Search state (§V-A) starts from exactly this kind of ballpark and
+    refines it against observed times.
+    """
+    units = atomic_units(order, kernel)
+    r_gpu = gpu_peak_interaction_rate(gpu) * n_gpus
+    r_cpu = cpu_flop_rate(cpu, n_cores)
+    s2 = 189.0 * units["M2L"] * r_gpu / (neighborhood * r_cpu)
+    return max(1, int(round(math.sqrt(s2))))
+
+
+def solve_body_cycles_for_ratio(
+    spec: GPUSpec, cpu: CPUSpec, *, target_ratio: float, kernel: Kernel | None = None
+) -> GPUSpec:
+    """Return a GPU spec whose peak interaction rate is ``target_ratio``
+    times one CPU core's interaction rate (the knob used to calibrate the
+    System A analog against the paper's speedup pattern)."""
+    if target_ratio <= 0:
+        raise ValueError("target_ratio must be positive")
+    core_rate = cpu_interaction_rate(cpu, kernel, n_cores=1)
+    # peak = warp * sms * clock / body_cycles  =>  solve for body_cycles
+    body_cycles = spec.warp_size * spec.n_sms * spec.clock_hz / (target_ratio * core_rate)
+    return dataclasses.replace(spec, body_cycles=body_cycles)

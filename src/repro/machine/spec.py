@@ -1,0 +1,100 @@
+"""Machine descriptions and presets mirroring the paper's test systems.
+
+* **Test System A** — 2x Intel Xeon X5670 (12 cores total) + 4x Tesla
+  C2050; experiments use up to 10 CPU cores and 1–4 GPUs.
+* **Test System B** — 4x Intel X7560 Nehalem-EX (32 cores), no GPUs;
+  used for the CPU-scaling study (Fig. 6).
+
+The absolute rates are *calibrated stand-ins* (DESIGN.md substitution
+table): the load-balancing behaviour depends on the shape of the
+S-dependent CPU/GPU cost curves and their crossover, which any machine
+with these relative throughputs reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.gpu.model import GPUSpec
+from repro.runtime.scheduler import CPUSpec
+
+__all__ = ["MachineSpec", "system_a", "system_b", "cpu_only", "single_core"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One shared-memory heterogeneous compute node."""
+
+    name: str
+    cpu: CPUSpec
+    gpus: tuple[GPUSpec, ...] = ()
+    #: multiplicative timing jitter (lognormal sigma); 0 = deterministic
+    timing_noise: float = 0.0
+
+    @property
+    def n_gpus(self) -> int:
+        return len(self.gpus)
+
+    def with_resources(self, *, n_cores: int | None = None, n_gpus: int | None = None) -> "MachineSpec":
+        """A copy restricted to a subset of cores / GPUs (the paper's
+        4C/10C x 1G/2G/4G sweeps)."""
+        cpu = self.cpu
+        if n_cores is not None:
+            if not 1 <= n_cores <= self.cpu.n_cores:
+                raise ValueError(f"n_cores must be in 1..{self.cpu.n_cores}")
+            cpu = replace(self.cpu, n_cores=n_cores)
+        gpus = self.gpus
+        if n_gpus is not None:
+            if not 0 <= n_gpus <= len(self.gpus):
+                raise ValueError(f"n_gpus must be in 0..{len(self.gpus)}")
+            gpus = self.gpus[:n_gpus]
+        return replace(self, cpu=cpu, gpus=gpus, name=f"{self.name}[{cpu.n_cores}C,{len(gpus)}G]")
+
+
+def system_a(*, timing_noise: float = 0.0) -> MachineSpec:
+    """Analog of Test System A: 12 Westmere cores + 4 Tesla C2050."""
+    cpu = CPUSpec(
+        name="2xX5670",
+        n_cores=12,
+        cores_per_socket=6,
+        core_flops=2.4e9,
+        task_overhead_s=1.2e-6,
+        mem_bandwidth=6.4e10,
+        cache_bonus_per_socket=0.03,
+    )
+    gpu = GPUSpec(
+        name="c2050",
+        n_sms=14,
+        warp_size=32,
+        block_size=256,
+        clock_hz=1.15e9,
+        body_cycles=30.0,
+        load_cycles=400.0,
+        launch_overhead_s=40e-6,
+    )
+    return MachineSpec(name="systemA", cpu=cpu, gpus=(gpu,) * 4, timing_noise=timing_noise)
+
+
+def system_b(*, timing_noise: float = 0.0) -> MachineSpec:
+    """Analog of Test System B: 4x X7560 Nehalem-EX, 32 cores, no GPUs."""
+    cpu = CPUSpec(
+        name="4xX7560",
+        n_cores=32,
+        cores_per_socket=8,
+        core_flops=2.0e9,
+        task_overhead_s=1.5e-6,
+        mem_bandwidth=1.5e10,
+        cache_bonus_per_socket=0.035,
+    )
+    return MachineSpec(name="systemB", cpu=cpu, gpus=(), timing_noise=timing_noise)
+
+
+def cpu_only(n_cores: int = 8, **cpu_kwargs) -> MachineSpec:
+    """A generic GPU-less machine for tests."""
+    cpu = CPUSpec(n_cores=n_cores, cores_per_socket=min(n_cores, 8), **cpu_kwargs)
+    return MachineSpec(name=f"cpu{n_cores}", cpu=cpu)
+
+
+def single_core(**cpu_kwargs) -> MachineSpec:
+    """The serial baseline machine of §VIII-E (one core, no GPUs)."""
+    return cpu_only(n_cores=1, **cpu_kwargs)

@@ -1,0 +1,15 @@
+"""OpenMP-style task runtime: task DAG extraction from the FMM traversals
+and a discrete-event simulator of a work-stealing scheduler."""
+
+from repro.runtime.tasks import Task, TaskGraph, build_fmm_task_graph, build_treebuild_task_graph
+from repro.runtime.scheduler import CPUSpec, ScheduleResult, simulate_schedule
+
+__all__ = [
+    "Task",
+    "TaskGraph",
+    "build_fmm_task_graph",
+    "build_treebuild_task_graph",
+    "CPUSpec",
+    "ScheduleResult",
+    "simulate_schedule",
+]

@@ -1,0 +1,26 @@
+"""Time-dependent N-body simulation driver with dynamic load balancing."""
+
+from repro.sim.integrators import LeapfrogIntegrator, reflect_into_box
+from repro.sim.driver import Simulation, SimulationConfig, StepRecord
+from repro.sim.observables import (
+    center_of_mass,
+    kinetic_energy,
+    lagrangian_radii,
+    potential_energy,
+    total_energy,
+    virial_ratio,
+)
+
+__all__ = [
+    "LeapfrogIntegrator",
+    "reflect_into_box",
+    "Simulation",
+    "SimulationConfig",
+    "StepRecord",
+    "center_of_mass",
+    "kinetic_energy",
+    "lagrangian_radii",
+    "potential_energy",
+    "total_energy",
+    "virial_ratio",
+]

@@ -1,0 +1,229 @@
+"""Time-stepped simulation driver (§IX).
+
+Each step mirrors the paper's §III-D timeline:
+
+1. build/maintain the adaptive tree for the current body positions;
+2. "solve" the FMM — numerically (real forces via :class:`FMMSolver` or a
+   direct sum) while the heterogeneous executor models the step's CPU/GPU
+   times on the machine model;
+3. advance bodies (leapfrog) inside the fixed simulation domain;
+4. hand the step's timing to the load balancer, which may adjust S
+   (rebuild), Enforce_S, or run FineGrainedOptimize — all of whose costs
+   are charged as load-balancing time.
+
+The per-step records feed Figs. 8–9 and Table II directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.balance.config import BalancerConfig
+from repro.balance.controller import DynamicLoadBalancer
+from repro.distributions.generators import ParticleSet
+from repro.fmm.evaluator import FMMSolver
+from repro.geometry.box import Box, bounding_box
+from repro.kernels.base import Kernel
+from repro.kernels.direct import direct_evaluate
+from repro.machine.executor import HeterogeneousExecutor
+from repro.machine.spec import MachineSpec
+from repro.sim.integrators import LeapfrogIntegrator, reflect_into_box
+from repro.tree.lists import build_interaction_lists
+from repro.tree.octree import AdaptiveOctree
+from repro.util.records import EventLog
+
+__all__ = ["Simulation", "SimulationConfig", "StepRecord"]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Driver configuration."""
+
+    dt: float = 1e-3
+    order: int = 3
+    folded: bool = True
+    #: "fmm" computes forces through the FMM; "direct" uses exact summation
+    #: (identical balancer behaviour, cheaper wall-clock for large sweeps)
+    forces: str = "fmm"
+    #: balancer strategy: "static" (1), "enforce" (2), "full" (3)
+    strategy: str = "full"
+    balancer: BalancerConfig = field(default_factory=BalancerConfig)
+    initial_S: int | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.forces not in ("fmm", "direct"):
+            raise ValueError(f"forces must be 'fmm' or 'direct', got {self.forces!r}")
+        if self.strategy not in ("static", "enforce", "full"):
+            raise ValueError(f"unknown strategy {self.strategy!r}")
+
+
+@dataclass
+class StepRecord:
+    """Convenience view of one step's log entry."""
+
+    step: int
+    compute_time: float
+    lb_time: float
+    total_time: float
+    S: int
+    state: str
+    cpu_time: float
+    gpu_time: float
+
+
+class Simulation:
+    """Drives a particle system through time with dynamic load balancing."""
+
+    def __init__(
+        self,
+        particles: ParticleSet,
+        kernel: Kernel,
+        machine: MachineSpec,
+        *,
+        config: SimulationConfig | None = None,
+        domain: Box | None = None,
+    ) -> None:
+        self.particles = particles
+        self.kernel = kernel
+        self.machine = machine
+        self.config = config or SimulationConfig()
+        if domain is None:
+            domain = _default_domain(particles)
+        self.domain = domain
+        if not bool(domain.contains(particles.positions).all()):
+            raise ValueError("initial positions must lie inside the domain")
+
+        self.executor = HeterogeneousExecutor(
+            machine,
+            order=self.config.order,
+            kernel=kernel,
+            folded=self.config.folded,
+            seed=self.config.seed,
+        )
+        self.balancer = DynamicLoadBalancer(
+            self.executor,
+            config=self.config.balancer,
+            initial_S=self.config.initial_S,
+            mode=self.config.strategy,
+        )
+        self.solver = (
+            FMMSolver(kernel, order=self.config.order, folded=self.config.folded)
+            if self.config.forces == "fmm"
+            else None
+        )
+        self.integrator = LeapfrogIntegrator(self.config.dt)
+        self.tree: AdaptiveOctree | None = None
+        self.log = EventLog()
+        self.step_index = 0
+        self._needs_rebuild = True
+
+    # -------------------------------------------------------------- physics
+    def _accelerations(self, tree: AdaptiveOctree, lists) -> np.ndarray:
+        q = self.particles.strengths
+        if self.solver is not None:
+            res = self.solver.solve(tree, q, gradient=True, potential=False, lists=lists)
+            return res.gradient
+        return direct_evaluate(
+            self.kernel, self.particles.positions, self.particles.positions, q,
+            gradient=True, exclude_self=True,
+        )
+
+    # -------------------------------------------------------------- stepping
+    def _ensure_tree(self) -> float:
+        """(Re)build or refit the tree; returns the charged maintenance time."""
+        lb = 0.0
+        if self.tree is None or self._needs_rebuild:
+            self.tree = AdaptiveOctree(
+                self.particles.positions, self.balancer.S, root_box=self.domain
+            )
+            self._needs_rebuild = False
+        else:
+            self.tree.points = self.particles.positions
+            self.tree.refit()
+        return lb
+
+    def run(self, n_steps: int) -> EventLog:
+        """Advance ``n_steps`` time steps; returns the cumulative log."""
+        for _ in range(n_steps):
+            self.step()
+        return self.log
+
+    def step(self) -> StepRecord:
+        cfg = self.config
+        lb_time = self._ensure_tree()
+        tree = self.tree
+        lists = build_interaction_lists(tree, folded=cfg.folded)
+
+        timing = self.executor.time_step(tree, lists)
+
+        # physics: one leapfrog step with forces from the current tree
+        acc = None
+        if not self.integrator.primed:
+            acc = self._accelerations(tree, lists)
+            self.integrator.prime(acc)
+        new_pos = self.integrator.drift_positions(
+            self.particles.positions, self.particles.velocities
+        )
+        self.particles.positions[...] = new_pos
+        reflect_into_box(self.particles.positions, self.particles.velocities, self.domain)
+        # new accelerations on the moved bodies (same tree topology; ranges refit)
+        tree.points = self.particles.positions
+        tree.refit()
+        lists_after = (
+            build_interaction_lists(tree, folded=cfg.folded) if self.solver else None
+        )
+        acc_new = self._accelerations(tree, lists_after)
+        self.integrator.finish_step(self.particles.velocities, acc_new)
+
+        outcome = self.balancer.end_of_step(tree, timing)
+        lb_time += outcome.lb_time
+        if outcome.rebuild_S is not None:
+            self._needs_rebuild = True
+
+        rec = StepRecord(
+            step=self.step_index,
+            compute_time=timing.compute_time,
+            lb_time=lb_time,
+            total_time=timing.compute_time + lb_time,
+            S=self.balancer.S,
+            state=outcome.state.value,
+            cpu_time=timing.cpu_time,
+            gpu_time=timing.gpu_time,
+        )
+        self.log.add(
+            step=rec.step,
+            compute_time=rec.compute_time,
+            lb_time=rec.lb_time,
+            total_time=rec.total_time,
+            S=rec.S,
+            state=rec.state,
+            cpu_time=rec.cpu_time,
+            gpu_time=rec.gpu_time,
+            actions=";".join(outcome.actions),
+            gpu_efficiency=timing.gpu_efficiency,
+        )
+        self.step_index += 1
+        return rec
+
+    # ------------------------------------------------------------- summaries
+    def summary(self) -> dict[str, float]:
+        """Aggregates for Table II."""
+        compute = float(np.sum(self.log.column("compute_time", 0.0)))
+        lb = float(np.sum(self.log.column("lb_time", 0.0)))
+        steps = max(1, len(self.log))
+        return {
+            "total_compute": compute,
+            "total_lb": lb,
+            "lb_pct_of_compute": 100.0 * lb / compute if compute else 0.0,
+            "mean_total_per_step": (compute + lb) / steps,
+            "n_steps": steps,
+        }
+
+
+def _default_domain(particles: ParticleSet) -> Box:
+    """A cube 4x the initial bounding cube, centered on the bodies."""
+    bb = bounding_box(particles.positions)
+    return Box(bb.center, bb.size * 4.0)

@@ -1,0 +1,75 @@
+"""Physical observables for the N-body runs.
+
+Used to verify that the dynamic workload of §IX-A behaves as the paper
+describes — the compact cluster genuinely expands through the simulation
+space (Lagrangian radii growing) and partially returns toward the center
+of mass — and for general sanity monitoring (energy drift under leapfrog).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions.generators import ParticleSet
+from repro.kernels.laplace import GravityKernel
+
+__all__ = [
+    "kinetic_energy",
+    "potential_energy",
+    "total_energy",
+    "virial_ratio",
+    "lagrangian_radii",
+    "center_of_mass",
+]
+
+
+def center_of_mass(ps: ParticleSet) -> np.ndarray:
+    m = ps.strengths.reshape(-1)
+    return (m[:, None] * ps.positions).sum(axis=0) / m.sum()
+
+
+def kinetic_energy(ps: ParticleSet) -> float:
+    m = ps.strengths.reshape(-1)
+    v2 = np.einsum("ij,ij->i", ps.velocities, ps.velocities)
+    return 0.5 * float((m * v2).sum())
+
+
+def potential_energy(ps: ParticleSet, kernel: GravityKernel) -> float:
+    """W = (1/2) sum_i m_i phi(x_i) (pairwise, self term excluded)."""
+    from repro.kernels.direct import direct_evaluate
+
+    phi = direct_evaluate(
+        kernel, ps.positions, ps.positions, ps.strengths, exclude_self=True
+    )[:, 0]
+    return 0.5 * float((ps.strengths.reshape(-1) * phi).sum())
+
+
+def total_energy(ps: ParticleSet, kernel: GravityKernel) -> float:
+    return kinetic_energy(ps) + potential_energy(ps, kernel)
+
+
+def virial_ratio(ps: ParticleSet, kernel: GravityKernel) -> float:
+    """2K / |W| — 1.0 at virial equilibrium, > 1 for an unbound/hot system."""
+    w = potential_energy(ps, kernel)
+    if w == 0:
+        return float("inf")
+    return 2.0 * kinetic_energy(ps) / abs(w)
+
+
+def lagrangian_radii(
+    ps: ParticleSet, fractions: tuple[float, ...] = (0.1, 0.5, 0.9)
+) -> dict[float, float]:
+    """Radii enclosing the given mass fractions, about the center of mass."""
+    m = ps.strengths.reshape(-1)
+    com = center_of_mass(ps)
+    r = np.linalg.norm(ps.positions - com, axis=1)
+    order = np.argsort(r)
+    cum = np.cumsum(m[order])
+    total = cum[-1]
+    out = {}
+    for f in fractions:
+        if not 0 < f <= 1:
+            raise ValueError(f"mass fraction must be in (0, 1], got {f}")
+        k = int(np.searchsorted(cum, f * total))
+        out[f] = float(r[order[min(k, len(r) - 1)]])
+    return out

@@ -1,0 +1,81 @@
+"""Tree diagnostics: the structural metrics the balancer's behaviour is
+easiest to understand through.
+
+``tree_profile`` summarizes shape (depth/leaf histograms);
+``work_profile_by_level`` shows where the far-field and near-field work
+lives, which visualizes why Collapse/PushDown at specific spots moves time
+between the CPU and GPU pools.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.tree.lists import InteractionLists, build_interaction_lists
+from repro.tree.octree import AdaptiveOctree
+
+__all__ = ["tree_profile", "work_profile_by_level", "gpu_friendliness"]
+
+
+def tree_profile(tree: AdaptiveOctree) -> dict:
+    """Shape summary: depth and leaf-population distributions."""
+    leaves = tree.leaves()
+    counts = np.array([tree.nodes[l].count for l in leaves], dtype=np.int64)
+    levels = Counter(int(tree.nodes[l].level) for l in leaves)
+    return {
+        "n_nodes": len(tree.effective_nodes()),
+        "n_leaves": len(leaves),
+        "depth": tree.depth(),
+        "leaves_per_level": dict(sorted(levels.items())),
+        "leaf_count_min": int(counts.min(initial=0)),
+        "leaf_count_mean": float(counts.mean()) if counts.size else 0.0,
+        "leaf_count_max": int(counts.max(initial=0)),
+        "leaf_count_p95": float(np.percentile(counts, 95)) if counts.size else 0.0,
+        "empty_leaves": int((counts == 0).sum()),
+    }
+
+
+def work_profile_by_level(
+    tree: AdaptiveOctree, lists: InteractionLists | None = None
+) -> dict[int, dict[str, int]]:
+    """Per-level M2L pair counts and near-field interactions.
+
+    Reveals the structure the balancer manipulates: pushing leaves down at
+    a level moves interactions out of its 'P2P' column into deeper-level
+    'M2L' columns, and vice versa for collapses.
+    """
+    if lists is None:
+        lists = build_interaction_lists(tree, folded=True)
+    out: dict[int, dict[str, int]] = {}
+    for nid in tree.effective_nodes():
+        level = tree.nodes[nid].level
+        row = out.setdefault(level, {"M2L": 0, "P2P": 0, "bodies_in_leaves": 0})
+        row["M2L"] += len(lists.v_list.get(nid, ()))
+        if tree.nodes[nid].is_leaf:
+            row["P2P"] += lists.interactions_of_leaf(nid)
+            row["bodies_in_leaves"] += tree.nodes[nid].count
+    return dict(sorted(out.items()))
+
+
+def gpu_friendliness(tree: AdaptiveOctree, *, warp_size: int = 32) -> float:
+    """Fraction of GPU lanes that would do useful work (0..1).
+
+    "We want to avoid octrees which result in a significant number of
+    small target nodes which have a large number of sources" (§III-C):
+    a leaf with p bodies occupies ceil(p/warp) warps, wasting the
+    remainder of the last one.  Weighted by leaf population.
+    """
+    total = 0.0
+    useful = 0.0
+    for l in tree.leaves():
+        p = tree.nodes[l].count
+        if p == 0:
+            continue
+        warps = -(-p // warp_size)
+        total += warps * warp_size * p  # lane-steps issued (per unit source)
+        useful += p * p
+    if total == 0:
+        return 1.0
+    return useful / total

@@ -1,0 +1,224 @@
+"""Adaptive FMM interaction lists (U/V/W/X of Cheng–Greengard–Rokhlin).
+
+For the *adaptive* tree the set of nodes involved in each operation is
+specific to the tree structure (the paper's §I-C); the classical lists are:
+
+* ``U(b)`` — leaves adjacent to leaf b (any level, including b): P2P.
+* ``V(b)`` — same-level children of b's parent's colleagues that are not
+  adjacent to b: M2L.
+* ``W(b)`` — descendants w of b's colleagues whose parent is adjacent to
+  leaf b but which are not themselves adjacent to b: M2P (w's multipole
+  evaluated directly at b's bodies).
+* ``X(b)`` — dual of W (x ∈ X(b) iff b ∈ W(x)): P2L (x's bodies enter b's
+  local expansion directly).
+
+The paper folds the W/X work into GPU P2P ("near-field = all pairs not
+well separated"); ``folded=True`` reproduces that: W entries are replaced
+by their leaf descendants and X entries are pushed down to b's leaf
+descendants, so the near field becomes pure leaf-leaf pairs and the far
+field pure M2L — at the cost of extra direct interactions.
+
+Adjacency is decided in exact integer (Morton grid) arithmetic, so lists
+are immune to floating-point drift from repeated box halving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.morton import MAX_MORTON_LEVEL, decode_morton
+from repro.tree.octree import AdaptiveOctree
+
+__all__ = ["InteractionLists", "build_interaction_lists"]
+
+
+@dataclass
+class InteractionLists:
+    """All interaction lists of one effective tree configuration."""
+
+    tree: AdaptiveOctree
+    folded: bool
+    #: per-node lists keyed by node id (only effective nodes appear)
+    colleagues: dict[int, list[int]] = field(default_factory=dict)
+    v_list: dict[int, list[int]] = field(default_factory=dict)
+    u_list: dict[int, list[int]] = field(default_factory=dict)  # leaves only
+    w_list: dict[int, list[int]] = field(default_factory=dict)  # leaves only
+    x_list: dict[int, list[int]] = field(default_factory=dict)
+    #: folded mode: per-target-leaf near-field source leaves (includes self)
+    near_sources: dict[int, list[int]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------- counting
+    def interactions_of_leaf(self, t: int) -> int:
+        """Paper §III-C: Interactions(t) = p_t * sum_{i in IL(t)} p_i."""
+        tree = self.tree
+        p_t = tree.nodes[t].count
+        return p_t * sum(tree.nodes[s].count for s in self.near_sources.get(t, ()))
+
+    def total_near_interactions(self) -> int:
+        return sum(self.interactions_of_leaf(t) for t in self.near_sources)
+
+    def op_counts(self, n_coeffs: int | None = None) -> dict[str, int]:
+        """Number of applications of each FMM operation for this tree.
+
+        Counts follow the paper's cost model: the count for an operation is
+        the number of times it is applied, in units whose per-application
+        cost is shape-independent so observed coefficients transfer between
+        trees (the paper: cost "expressed in terms of the number of bodies
+        in a leaf node"): per *body* for P2M/L2P, per parent<->child shift
+        for M2M/L2L, per node pair for M2L, per body-pair for P2P, per
+        (node, body) product for M2P/P2L.
+        """
+        tree = self.tree
+        internal = [n for n in tree.effective_nodes() if not tree.nodes[n].is_leaf]
+        n_bodies_in_leaves = sum(tree.nodes[l].count for l in tree.leaves())
+        # one M2M/L2L application per parent<->child shift
+        n_shifts = sum(len(tree.effective_children(n)) for n in internal)
+        counts = {
+            "P2M": n_bodies_in_leaves,
+            "M2M": n_shifts,
+            "M2L": sum(len(v) for v in self.v_list.values()),
+            "L2L": n_shifts,
+            "L2P": n_bodies_in_leaves,
+            "P2P": self.total_near_interactions(),
+            "M2P": sum(
+                tree.nodes[t].count * len(ws) for t, ws in self.w_list.items()
+            ),
+            "P2L": sum(
+                sum(tree.nodes[x].count for x in xs) for _, xs in self.x_list.items()
+            ),
+        }
+        return counts
+
+
+def build_interaction_lists(tree: AdaptiveOctree, *, folded: bool = True) -> InteractionLists:
+    """Construct all lists for the current effective tree."""
+    il = InteractionLists(tree=tree, folded=folded)
+    nodes = tree.nodes
+    eff = tree.effective_nodes()
+    coords = _integer_coords(tree, eff)
+
+    def adjacent(a: int, b: int) -> bool:
+        ax0, ay0, az0, ax1, ay1, az1 = coords[a]
+        bx0, by0, bz0, bx1, by1, bz1 = coords[b]
+        return (
+            ax1 >= bx0 and bx1 >= ax0
+            and ay1 >= by0 and by1 >= ay0
+            and az1 >= bz0 and bz1 >= az0
+        )
+
+    # ---------------------------------------------------- colleagues and V
+    il.colleagues[0] = [0]
+    il.v_list[0] = []
+    for nid in eff:
+        if nid == 0:
+            continue
+        parent = nodes[nid].parent
+        cands: list[int] = []
+        for pc in il.colleagues[parent]:
+            cands.extend(tree.effective_children(pc))
+        coll, v = [], []
+        for c in cands:
+            if adjacent(c, nid):
+                coll.append(c)
+            else:
+                v.append(c)
+        il.colleagues[nid] = coll
+        il.v_list[nid] = v
+
+    leaves = tree.leaves()
+    leaf_set = set(leaves)
+
+    # -------------------------------------------------------------- U lists
+    for b in leaves:
+        u: list[int] = []
+        stack = [0]
+        while stack:
+            cur = stack.pop()
+            if not adjacent(cur, b):
+                continue
+            if nodes[cur].is_leaf:
+                u.append(cur)
+            else:
+                stack.extend(tree.effective_children(cur))
+        il.u_list[b] = u
+
+    # -------------------------------------------------------------- W lists
+    for b in leaves:
+        w: list[int] = []
+        for c in il.colleagues[b]:
+            if c == b or nodes[c].is_leaf:
+                continue
+            stack = list(tree.effective_children(c))
+            while stack:
+                cur = stack.pop()
+                if adjacent(cur, b):
+                    if not nodes[cur].is_leaf:
+                        stack.extend(tree.effective_children(cur))
+                    # adjacent leaves are already in U(b)
+                else:
+                    w.append(cur)
+        il.w_list[b] = w
+
+    # ------------------------------------------------------ X lists (dual)
+    il.x_list = {}
+    for x, ws in il.w_list.items():
+        for wnode in ws:
+            il.x_list.setdefault(wnode, []).append(x)
+
+    # ----------------------------------------------- folded near-field sets
+    for b in leaves:
+        il.near_sources[b] = list(il.u_list[b])
+    if folded:
+        # W entries become their leaf descendants (P2P sources)
+        for b in leaves:
+            extra: list[int] = []
+            for wnode in il.w_list[b]:
+                extra.extend(_leaf_descendants(tree, wnode, leaf_set))
+            il.near_sources[b].extend(extra)
+        # X entries are pushed down to every leaf under the receiving node
+        for recv, xs in il.x_list.items():
+            for t in _leaf_descendants(tree, recv, leaf_set):
+                il.near_sources[t].extend(xs)
+        # folded mode does not use M2P/P2L
+        il.w_list = {b: [] for b in leaves}
+        il.x_list = {}
+    return il
+
+
+def _leaf_descendants(tree: AdaptiveOctree, nid: int, leaf_set: set[int]) -> list[int]:
+    if nid in leaf_set:
+        return [nid]
+    out: list[int] = []
+    stack = list(tree.effective_children(nid))
+    while stack:
+        cur = stack.pop()
+        if tree.nodes[cur].is_leaf:
+            out.append(cur)
+        else:
+            stack.extend(tree.effective_children(cur))
+    return out
+
+
+def _integer_coords(tree: AdaptiveOctree, eff: list[int]) -> dict[int, tuple[int, int, int, int, int, int]]:
+    """Exact integer cell bounds on the finest Morton grid.
+
+    Returns per-node (x0, y0, z0, x1, y1, z1) with the upper bound
+    exclusive; two cells touch iff a.hi >= b.lo and b.hi >= a.lo on every
+    axis.  Plain Python ints: this predicate runs hundreds of thousands of
+    times per list build and must stay allocation-free.
+    """
+    ids = np.fromiter(eff, dtype=np.int64, count=len(eff))
+    keys = np.array([tree.nodes[n].key_lo for n in eff], dtype=np.uint64)
+    levels = np.array([tree.nodes[n].level for n in eff], dtype=np.int64)
+    ix, iy, iz = decode_morton(keys)
+    width = np.int64(1) << (MAX_MORTON_LEVEL - levels)
+    x0 = ix.astype(np.int64)
+    y0 = iy.astype(np.int64)
+    z0 = iz.astype(np.int64)
+    x1, y1, z1 = x0 + width, y0 + width, z0 + width
+    return {
+        int(n): (int(a), int(b), int(c), int(d), int(e), int(f))
+        for n, a, b, c, d, e, f in zip(ids, x0, y0, z0, x1, y1, z1)
+    }

@@ -1,0 +1,361 @@
+"""Adaptive (variable-depth) octree over Morton-sorted bodies.
+
+Bodies are sorted once by 63-bit Morton key; every octree cell then owns a
+*contiguous range* of the sorted order, so splitting a node, counting its
+bodies, and refitting the tree after bodies move are all O(log n)
+searchsorted operations — the vectorized analog of the paper's recursive
+parallel partition (§III-B).
+
+Tree surgery (§IV):
+
+* :meth:`AdaptiveOctree.collapse` — hide a parent's children; "in actuality
+  the children are just hidden from the FMM algorithm.  A flag is simply
+  set" — exactly what we do: the subtree stays allocated for reclaim.
+* :meth:`AdaptiveOctree.pushdown` — subdivide a leaf, reclaiming hidden
+  children when present, otherwise allocating new ones (from the node
+  buffer semantics of §IV-C).
+* :meth:`AdaptiveOctree.enforce_s` — the Enforce_S sweep of §VI-A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.box import Box, bounding_box
+from repro.geometry.morton import MAX_MORTON_LEVEL, morton_keys
+
+__all__ = ["OctreeNode", "AdaptiveOctree", "build_adaptive"]
+
+
+@dataclass
+class OctreeNode:
+    """One octree cell.
+
+    ``lo:hi`` index into the tree's Morton-sorted body order;
+    ``key_lo:key_hi`` is the cell's Morton key span at full depth.
+    ``hidden`` marks cells collapsed away from the *effective* tree.
+    """
+
+    id: int
+    level: int
+    center: np.ndarray
+    size: float
+    parent: int
+    key_lo: np.uint64
+    key_hi: np.uint64
+    lo: int = 0
+    hi: int = 0
+    children: list[int] | None = None
+    is_leaf: bool = True
+    hidden: bool = False
+
+    @property
+    def count(self) -> int:
+        return self.hi - self.lo
+
+    @property
+    def box(self) -> Box:
+        return Box(tuple(self.center), self.size)
+
+
+class AdaptiveOctree:
+    """Variable-depth octree with leaf capacity ``S`` and tree surgery."""
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        S: int,
+        *,
+        root_box: Box | None = None,
+        max_level: int = MAX_MORTON_LEVEL - 1,
+    ) -> None:
+        if S < 1:
+            raise ValueError(f"leaf capacity S must be >= 1, got {S}")
+        if not 1 <= max_level <= MAX_MORTON_LEVEL - 1:
+            raise ValueError(f"max_level must be in 1..{MAX_MORTON_LEVEL - 1}")
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        if pts.shape[1] != 3:
+            raise ValueError(f"points must be (n, 3), got {pts.shape}")
+        self.points = pts
+        self.S = int(S)
+        self.max_level = int(max_level)
+        self.root_box = root_box if root_box is not None else bounding_box(pts)
+        if not bool(self.root_box.contains(pts).all()):
+            raise ValueError("root_box does not contain all points")
+        self.nodes: list[OctreeNode] = []
+        self._sort_bodies()
+        self._build_root()
+        self._split_recursive(0)
+
+    # ------------------------------------------------------------- building
+    def _sort_bodies(self) -> None:
+        keys = morton_keys(self.points, self.root_box.low, self.root_box.size)
+        self.order = np.argsort(keys, kind="stable")
+        self.sorted_keys = keys[self.order]
+
+    def _build_root(self) -> None:
+        self.nodes.clear()
+        root = OctreeNode(
+            id=0,
+            level=0,
+            center=self.root_box.center_array(),
+            size=self.root_box.size,
+            parent=-1,
+            key_lo=np.uint64(0),
+            key_hi=np.uint64(1) << np.uint64(3 * MAX_MORTON_LEVEL),
+            lo=0,
+            hi=self.points.shape[0],
+        )
+        self.nodes.append(root)
+
+    def _make_children(self, nid: int) -> list[int]:
+        """Allocate the (nonempty) children of node ``nid``."""
+        node = self.nodes[nid]
+        child_ids: list[int] = []
+        for octant in range(8):
+            cid = self._make_child(nid, octant)
+            if cid is not None:
+                child_ids.append(cid)
+        return child_ids
+
+    def _make_child(self, nid: int, octant: int) -> int | None:
+        """Allocate child ``octant`` of ``nid`` if it holds bodies."""
+        node = self.nodes[nid]
+        span = (node.key_hi - node.key_lo) >> np.uint64(3)
+        klo = node.key_lo + np.uint64(octant) * span
+        khi = klo + span
+        lo = int(np.searchsorted(self.sorted_keys, klo, side="left"))
+        hi = int(np.searchsorted(self.sorted_keys, khi, side="left"))
+        if hi == lo:
+            return None  # prune empty octants
+        cbox = node.box.child(octant)
+        child = OctreeNode(
+            id=len(self.nodes),
+            level=node.level + 1,
+            center=cbox.center_array(),
+            size=cbox.size,
+            parent=nid,
+            key_lo=klo,
+            key_hi=khi,
+            lo=lo,
+            hi=hi,
+        )
+        self.nodes.append(child)
+        return child.id
+
+    def _materialize_missing_children(self, nid: int) -> list[int]:
+        """Create leaves for octants that gained bodies since allocation.
+
+        Empty octants are pruned at build time; after bodies move, a
+        previously-empty octant of an internal node may become populated
+        and needs a (leaf) child so the leaves keep partitioning the
+        bodies.  Returns the newly created child ids.
+        """
+        node = self.nodes[nid]
+        if node.children is None:
+            return []
+        span = (node.key_hi - node.key_lo) >> np.uint64(3)
+        existing = {int((self.nodes[c].key_lo - node.key_lo) // span) for c in node.children}
+        created: list[int] = []
+        for octant in range(8):
+            if octant in existing:
+                continue
+            cid = self._make_child(nid, octant)
+            if cid is not None:
+                node.children.append(cid)
+                created.append(cid)
+        return created
+
+    def _split_recursive(self, nid: int) -> None:
+        stack = [nid]
+        while stack:
+            cur = stack.pop()
+            node = self.nodes[cur]
+            if node.count <= self.S or node.level >= self.max_level:
+                continue
+            if node.children is None:
+                node.children = self._make_children(cur)
+            node.is_leaf = False
+            for cid in node.children:
+                self.nodes[cid].hidden = False
+                stack.append(cid)
+
+    # ------------------------------------------------------------ accessors
+    @property
+    def n_bodies(self) -> int:
+        return self.points.shape[0]
+
+    def bodies(self, nid: int) -> np.ndarray:
+        """Original indices of the bodies in node ``nid``."""
+        node = self.nodes[nid]
+        return self.order[node.lo : node.hi]
+
+    def effective_children(self, nid: int) -> list[int]:
+        """Visible (non-hidden) children of an effective internal node."""
+        node = self.nodes[nid]
+        if node.is_leaf or node.children is None:
+            return []
+        return [c for c in node.children if not self.nodes[c].hidden]
+
+    def effective_nodes(self) -> list[int]:
+        """Ids of all nodes in the effective tree, preorder from the root."""
+        out: list[int] = []
+        stack = [0]
+        while stack:
+            nid = stack.pop()
+            out.append(nid)
+            node = self.nodes[nid]
+            if not node.is_leaf:
+                stack.extend(reversed(self.effective_children(nid)))
+        return out
+
+    def leaves(self) -> list[int]:
+        """Ids of the effective leaves."""
+        return [nid for nid in self.effective_nodes() if self.nodes[nid].is_leaf]
+
+    def depth(self) -> int:
+        """Maximum level over effective nodes."""
+        return max(self.nodes[nid].level for nid in self.effective_nodes())
+
+    def leaf_of_body(self, body: int) -> int:
+        """Effective leaf currently holding body ``body`` (by sorted range)."""
+        if not hasattr(self, "_inv_order") or self._inv_order_stamp is not self.order:
+            inv = np.empty_like(self.order)
+            inv[self.order] = np.arange(self.order.shape[0])
+            self._inv_order = inv
+            self._inv_order_stamp = self.order
+        pos = int(self._inv_order[body])
+        nid = 0
+        while not self.nodes[nid].is_leaf:
+            for cid in self.effective_children(nid):
+                c = self.nodes[cid]
+                if c.lo <= pos < c.hi:
+                    nid = cid
+                    break
+            else:  # position falls in a pruned (empty) octant - cannot happen
+                raise RuntimeError("body position not covered by any child")
+        return nid
+
+    # --------------------------------------------------------------- surgery
+    def collapse(self, nid: int) -> None:
+        """Hide the children of ``nid``; it becomes an effective leaf."""
+        node = self.nodes[nid]
+        if node.is_leaf:
+            raise ValueError(f"collapse: node {nid} is already a leaf")
+        for cid in self._descendants(nid):
+            self.nodes[cid].hidden = True
+        node.is_leaf = True
+
+    def pushdown(self, nid: int) -> list[int]:
+        """Subdivide leaf ``nid``; returns the ids of its effective children.
+
+        Hidden children are reclaimed (and become leaves themselves, their
+        own subtrees staying hidden); otherwise children are allocated.
+        """
+        node = self.nodes[nid]
+        if not node.is_leaf:
+            raise ValueError(f"pushdown: node {nid} is not a leaf")
+        if node.level >= self.max_level:
+            raise ValueError(f"pushdown: node {nid} is at max level {self.max_level}")
+        if node.children is None:
+            node.children = self._make_children(nid)
+        else:
+            # reclaimed children may miss octants populated since collapse
+            self._materialize_missing_children(nid)
+        kids = []
+        for cid in node.children:
+            child = self.nodes[cid]
+            child.hidden = False
+            child.is_leaf = True  # any grandchildren stay hidden until reclaimed
+            kids.append(cid)
+        node.is_leaf = False
+        return kids
+
+    def _descendants(self, nid: int) -> list[int]:
+        out: list[int] = []
+        stack = list(self.nodes[nid].children or [])
+        while stack:
+            cur = stack.pop()
+            out.append(cur)
+            stack.extend(self.nodes[cur].children or [])
+        return out
+
+    def enforce_s(self, S: int | None = None) -> dict[str, int]:
+        """The Enforce_S sweep of §VI-A.
+
+        Collapses effective internal nodes holding fewer than S bodies and
+        (recursively) pushes down effective leaves holding more than S.
+        Returns operation counts for the balancer's bookkeeping.
+        """
+        S = self.S if S is None else int(S)
+        self.S = S
+        collapses = pushdowns = 0
+        # collapse pass: deepest-first so nested underfull parents collapse too
+        for nid in reversed(self.effective_nodes()):
+            node = self.nodes[nid]
+            if not node.is_leaf and node.count < S:
+                self.collapse(nid)
+                collapses += 1
+        # pushdown pass: split any overfull leaf until the cap holds
+        stack = [nid for nid in self.effective_nodes() if self.nodes[nid].is_leaf]
+        while stack:
+            nid = stack.pop()
+            node = self.nodes[nid]
+            if node.is_leaf and node.count > S and node.level < self.max_level:
+                stack.extend(self.pushdown(nid))
+                pushdowns += 1
+        return {"collapses": collapses, "pushdowns": pushdowns}
+
+    # ----------------------------------------------------------------- refit
+    def refit(self) -> None:
+        """Recompute body ranges after positions changed, keeping structure.
+
+        Bodies are re-sorted by Morton key and every node's range is
+        recomputed from its key span; the tree *shape* is untouched (this is
+        what lets strategy 1 of §IX-A run with a frozen tree while bodies
+        migrate between leaves).
+        """
+        if not bool(self.root_box.contains(self.points).all()):
+            raise ValueError("points left the root box; rebuild the tree instead")
+        self._sort_bodies()
+        for node in self.nodes:
+            node.lo = int(np.searchsorted(self.sorted_keys, node.key_lo, side="left"))
+            node.hi = int(np.searchsorted(self.sorted_keys, node.key_hi, side="left"))
+        # bodies may have drifted into octants that were empty (pruned) at
+        # build time; give every effective internal node full coverage
+        for nid in self.effective_nodes():
+            node = self.nodes[nid]
+            if not node.is_leaf:
+                covered = sum(self.nodes[c].count for c in node.children or [])
+                if covered != node.count:
+                    self._materialize_missing_children(nid)
+
+    # ------------------------------------------------------------ statistics
+    def leaf_counts(self) -> np.ndarray:
+        return np.array([self.nodes[nid].count for nid in self.leaves()], dtype=np.int64)
+
+    def stats(self) -> dict:
+        leaves = self.leaves()
+        counts = np.array([self.nodes[x].count for x in leaves]) if leaves else np.zeros(0)
+        return {
+            "n_bodies": self.n_bodies,
+            "n_nodes": len(self.effective_nodes()),
+            "n_leaves": len(leaves),
+            "depth": self.depth(),
+            "S": self.S,
+            "leaf_count_max": int(counts.max(initial=0)),
+            "leaf_count_mean": float(counts.mean()) if counts.size else 0.0,
+        }
+
+
+def build_adaptive(
+    points: np.ndarray,
+    S: int,
+    *,
+    root_box: Box | None = None,
+    max_level: int = MAX_MORTON_LEVEL - 1,
+) -> AdaptiveOctree:
+    """Convenience constructor mirroring :class:`AdaptiveOctree`."""
+    return AdaptiveOctree(points, S, root_box=root_box, max_level=max_level)

@@ -1,0 +1,105 @@
+"""Timers used by the cost model.
+
+The paper derives per-operation *observed coefficients* by accumulating,
+per FMM operation, the total time spent and the number of applications
+(§IV-D).  :class:`OpTimer` is exactly that accumulator.  Times fed into an
+``OpTimer`` may come either from a real wall clock (:class:`WallTimer`) or
+from the machine model's simulated clock — the cost model does not care.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["WallTimer", "OpTimer", "TimerRegistry"]
+
+
+class WallTimer:
+    """Context-manager stopwatch measuring real elapsed seconds."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start: float | None = None
+
+    def __enter__(self) -> "WallTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+
+
+@dataclass
+class OpTimer:
+    """Accumulates total time and application count for one FMM operation.
+
+    ``coefficient`` is the observed per-application cost of §IV-D:
+    total time divided by total count.
+    """
+
+    name: str
+    total_time: float = 0.0
+    count: int = 0
+
+    def add(self, seconds: float, applications: int = 1) -> None:
+        if seconds < 0:
+            raise ValueError(f"negative time {seconds!r} for op {self.name}")
+        if applications < 0:
+            raise ValueError(f"negative count {applications!r} for op {self.name}")
+        self.total_time += seconds
+        self.count += applications
+
+    @property
+    def coefficient(self) -> float:
+        """Observed seconds per application (0 when never applied)."""
+        if self.count == 0:
+            return 0.0
+        return self.total_time / self.count
+
+    def reset(self) -> None:
+        self.total_time = 0.0
+        self.count = 0
+
+
+@dataclass
+class TimerRegistry:
+    """A named collection of :class:`OpTimer` objects.
+
+    One registry is kept per compute device class (CPU pool, GPU pool) so
+    coefficients reflect the device that actually executed the operation.
+    """
+
+    timers: dict[str, OpTimer] = field(default_factory=dict)
+
+    def timer(self, name: str) -> OpTimer:
+        if name not in self.timers:
+            self.timers[name] = OpTimer(name)
+        return self.timers[name]
+
+    def add(self, name: str, seconds: float, applications: int = 1) -> None:
+        self.timer(name).add(seconds, applications)
+
+    def coefficient(self, name: str) -> float:
+        return self.timer(name).coefficient
+
+    def coefficients(self) -> dict[str, float]:
+        return {name: t.coefficient for name, t in self.timers.items()}
+
+    def reset(self) -> None:
+        for t in self.timers.values():
+            t.reset()
+
+    def merged_with(self, other: "TimerRegistry") -> "TimerRegistry":
+        """Return a new registry summing this one with ``other``.
+
+        Mirrors the paper's summation of per-thread times and counts over
+        all threads before dividing.
+        """
+        out = TimerRegistry()
+        for reg in (self, other):
+            for name, t in reg.timers.items():
+                out.add(name, t.total_time, t.count)
+        return out

@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import plummer, uniform_cube
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def plummer_small():
+    """A small highly non-uniform cloud (shared, read-only)."""
+    return plummer(1500, seed=7)
+
+
+@pytest.fixture(scope="session")
+def uniform_small():
+    """A small uniform cloud (shared, read-only)."""
+    return uniform_cube(1500, seed=8)

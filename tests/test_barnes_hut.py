@@ -1,0 +1,91 @@
+"""Tests for the Barnes–Hut baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BarnesHut
+from repro.distributions import plummer, uniform_cube
+from repro.kernels import GravityKernel, LaplaceKernel, RegularizedStokesletKernel, direct_evaluate
+from repro.tree import build_adaptive
+
+
+@pytest.fixture(scope="module")
+def problem():
+    ps = plummer(1500, seed=3)
+    ker = GravityKernel(G=1.0)
+    tree = build_adaptive(ps.positions, S=16)
+    exact = direct_evaluate(ker, ps.positions, ps.positions, ps.strengths, exclude_self=True)
+    exact_g = direct_evaluate(
+        ker, ps.positions, ps.positions, ps.strengths, gradient=True, exclude_self=True
+    )
+    return ps, ker, tree, exact[:, 0], exact_g
+
+
+class TestAccuracy:
+    def test_error_decreases_with_theta(self, problem):
+        ps, ker, tree, exact, _ = problem
+        errs = []
+        for theta in (0.8, 0.5, 0.3):
+            res = BarnesHut(ker, theta=theta).solve(tree, ps.strengths)
+            errs.append(np.linalg.norm(res.potential - exact) / np.linalg.norm(exact))
+        assert errs[0] > errs[1] > errs[2]
+        assert errs[2] < 1e-3
+
+    def test_gradient_accuracy(self, problem):
+        ps, ker, tree, _, exact_g = problem
+        res = BarnesHut(ker, theta=0.3).solve(tree, ps.strengths, gradient=True)
+        err = np.linalg.norm(res.gradient - exact_g) / np.linalg.norm(exact_g)
+        assert err < 5e-3
+
+    def test_work_grows_as_theta_shrinks(self, problem):
+        ps, ker, tree, _, _ = problem
+        w = [
+            BarnesHut(ker, theta=t).solve(tree, ps.strengths).interactions
+            for t in (0.8, 0.4)
+        ]
+        assert w[1] > w[0]
+
+    def test_theta_zero_limit_is_direct(self):
+        # a tiny theta forces full descent: exact direct summation
+        ps = uniform_cube(300, seed=1)
+        ker = LaplaceKernel()
+        tree = build_adaptive(ps.positions, S=8)
+        res = BarnesHut(ker, theta=1e-9).solve(tree, ps.strengths)
+        exact = direct_evaluate(ker, ps.positions, ps.positions, ps.strengths, exclude_self=True)
+        assert np.allclose(res.potential, exact[:, 0], rtol=1e-12)
+
+    def test_mixed_sign_charges_expose_monopole_failure(self):
+        """The §I contrast in one test: on a net-neutral charge system the
+        monopole-only treecode's acceptance criterion gives *no* error
+        control (cells cancel to zero net charge, so the approximation is
+        pure error), while the FMM's full expansions converge normally."""
+        from repro.fmm import FMMSolver
+
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(-1, 1, (800, 3))
+        q = rng.choice([-1.0, 1.0], 800)
+        ker = LaplaceKernel()
+        tree = build_adaptive(pts, S=16)
+        exact = direct_evaluate(ker, pts, pts, q, exclude_self=True)[:, 0]
+        bh = BarnesHut(ker, theta=0.2).solve(tree, q)
+        bh_err = np.linalg.norm(bh.potential - exact) / np.linalg.norm(exact)
+        fmm = FMMSolver(ker, order=4).solve(tree, q)
+        fmm_err = np.linalg.norm(fmm.potential - exact) / np.linalg.norm(exact)
+        assert bh_err > 0.1  # monopole treecode: uncontrolled
+        assert fmm_err < 1e-3  # FMM: bounded precision regardless of signs
+        assert fmm_err < bh_err / 100
+
+
+class TestValidation:
+    def test_theta_positive(self):
+        with pytest.raises(ValueError):
+            BarnesHut(theta=0.0)
+
+    def test_vector_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            BarnesHut(RegularizedStokesletKernel())
+
+    def test_strength_length(self, problem):
+        ps, ker, tree, _, _ = problem
+        with pytest.raises(ValueError):
+            BarnesHut(ker).solve(tree, np.ones(3))

@@ -1,0 +1,121 @@
+"""Tests for the calibration utilities and tree diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import plummer, uniform_cube
+from repro.kernels import GravityKernel
+from repro.machine import system_a, system_b
+from repro.machine.calibration import (
+    cpu_flop_rate,
+    cpu_interaction_rate,
+    estimate_crossover_s,
+    expansion_floor_seconds,
+    gpu_peak_interaction_rate,
+    solve_body_cycles_for_ratio,
+)
+from repro.tree import build_adaptive, build_interaction_lists
+from repro.tree.diagnostics import gpu_friendliness, tree_profile, work_profile_by_level
+
+
+class TestCalibration:
+    def test_gpu_peak_rate_formula(self):
+        gpu = system_a().gpus[0]
+        rate = gpu_peak_interaction_rate(gpu)
+        assert rate == pytest.approx(gpu.warp_size * gpu.n_sms * gpu.clock_hz / gpu.body_cycles)
+
+    def test_cpu_rates(self):
+        cpu = system_b().cpu
+        assert cpu_flop_rate(cpu, 1) == pytest.approx(cpu.core_flops)
+        assert cpu_flop_rate(cpu, 32) > 32 * cpu.core_flops  # cache bonus
+        assert cpu_interaction_rate(cpu, GravityKernel(), 1) == pytest.approx(
+            cpu.core_flops / 20.0
+        )
+
+    def test_expansion_floor_scales_linearly_with_n(self):
+        cpu = system_a().cpu
+        f1 = expansion_floor_seconds(cpu, 10_000, 4)
+        f2 = expansion_floor_seconds(cpu, 20_000, 4)
+        assert f2 == pytest.approx(2 * f1)
+
+    def test_floor_grows_with_order(self):
+        cpu = system_a().cpu
+        assert expansion_floor_seconds(cpu, 10_000, 8) > expansion_floor_seconds(cpu, 10_000, 4)
+
+    def test_crossover_estimate_in_search_range(self):
+        m = system_a()
+        s = estimate_crossover_s(
+            m.cpu, m.gpus[0], n_gpus=4, n_bodies=20_000, order=4, kernel=GravityKernel()
+        )
+        assert 8 <= s <= 4096
+
+    def test_crossover_grows_with_gpus(self):
+        m = system_a()
+        s1 = estimate_crossover_s(m.cpu, m.gpus[0], n_gpus=1, n_bodies=20_000, order=4)
+        s4 = estimate_crossover_s(m.cpu, m.gpus[0], n_gpus=4, n_bodies=20_000, order=4)
+        assert s4 > s1
+
+    def test_crossover_estimate_near_observed(self):
+        """The a-priori estimate should land within ~4x of the machine
+        model's actual optimum (it seeds the Search state, which refines)."""
+        from repro.experiments.common import geometric_s_values, hetero_executor, optimal_s
+
+        m = system_a()
+        est = estimate_crossover_s(
+            m.cpu, m.gpus[0], n_gpus=4, n_bodies=20_000, order=4, kernel=GravityKernel()
+        )
+        ps = plummer(20_000, seed=0)
+        ex = hetero_executor(n_cores=10, n_gpus=4, order=4)
+        observed, _ = optimal_s(ps.positions, ex, geometric_s_values(16, 2048, 12))
+        assert observed / 4 <= est <= observed * 4
+
+    def test_solve_body_cycles(self):
+        m = system_a()
+        gpu = solve_body_cycles_for_ratio(
+            m.gpus[0], m.cpu, target_ratio=50.0, kernel=GravityKernel()
+        )
+        achieved = gpu_peak_interaction_rate(gpu) / cpu_interaction_rate(
+            m.cpu, GravityKernel(), 1
+        )
+        assert achieved == pytest.approx(50.0)
+
+    def test_solve_body_cycles_validation(self):
+        m = system_a()
+        with pytest.raises(ValueError):
+            solve_body_cycles_for_ratio(m.gpus[0], m.cpu, target_ratio=0.0)
+
+
+class TestDiagnostics:
+    @pytest.fixture(scope="class")
+    def tree(self):
+        return build_adaptive(plummer(3000, seed=0).positions, S=40)
+
+    def test_tree_profile_consistency(self, tree):
+        p = tree_profile(tree)
+        assert p["n_leaves"] == len(tree.leaves())
+        assert sum(p["leaves_per_level"].values()) == p["n_leaves"]
+        assert p["leaf_count_min"] <= p["leaf_count_mean"] <= p["leaf_count_max"]
+        assert p["leaf_count_max"] <= 40
+
+    def test_work_profile_totals(self, tree):
+        lists = build_interaction_lists(tree, folded=True)
+        prof = work_profile_by_level(tree, lists)
+        assert sum(r["M2L"] for r in prof.values()) == lists.op_counts()["M2L"]
+        assert sum(r["P2P"] for r in prof.values()) == lists.op_counts()["P2P"]
+        assert sum(r["bodies_in_leaves"] for r in prof.values()) == tree.n_bodies
+
+    def test_gpu_friendliness_bounds(self, tree):
+        f = gpu_friendliness(tree)
+        assert 0.0 < f <= 1.0
+
+    def test_gpu_friendliness_improves_with_s(self):
+        pts = uniform_cube(4000, seed=1).positions
+        small = gpu_friendliness(build_adaptive(pts, S=10))
+        large = gpu_friendliness(build_adaptive(pts, S=400))
+        assert large > small
+
+    def test_gpu_friendliness_perfect_for_warp_multiples(self):
+        # 32 bodies in one leaf = exactly one full warp
+        pts = np.random.default_rng(0).uniform(size=(32, 3))
+        tree = build_adaptive(pts, S=64)
+        assert gpu_friendliness(tree) == pytest.approx(1.0)

@@ -1,0 +1,124 @@
+"""Property tests for the 1/r derivative-tensor recurrence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expansions.derivatives import derivative_recurrence_plan, scaled_derivative_tensors
+from repro.expansions.multiindex import MultiIndexSet
+
+
+def _numeric_scaled_derivative(d, alpha, h=1e-3):
+    """b_alpha = D^alpha (1/r) / alpha! via nested central differences."""
+    d = np.asarray(d, dtype=float)
+
+    def G(v):
+        return 1.0 / np.linalg.norm(v)
+
+    fn = G
+    fact = 1.0
+    for axis, count in enumerate(alpha):
+        for _ in range(count):
+            fn = _central(fn, axis, h)
+        for i in range(1, count + 1):
+            fact *= i
+    return fn(d) / fact
+
+
+def _central(f, axis, h):
+    def df(v):
+        e = np.zeros(3)
+        e[axis] = h
+        return (f(v + e) - f(v - e)) / (2 * h)
+
+    return df
+
+
+class TestRecurrencePlan:
+    def test_plan_covers_all_indices(self):
+        mis, steps = derivative_recurrence_plan(4)
+        assert len(steps) == mis.n
+        assert steps[0] is None
+        for j in range(1, mis.n):
+            n, first, second = steps[j]
+            assert n == mis.degrees[j]
+            assert len(first) >= 1  # at least one axis to recurse through
+
+
+class TestAgainstFiniteDifferences:
+    @pytest.mark.parametrize(
+        "alpha",
+        [(1, 0, 0), (0, 1, 0), (0, 0, 1), (2, 0, 0), (1, 1, 0), (1, 1, 1), (3, 0, 0), (2, 1, 0)],
+    )
+    def test_low_orders(self, alpha, rng):
+        d = rng.uniform(1.0, 2.0, 3) * np.sign(rng.uniform(-1, 1, 3))
+        mis = MultiIndexSet(3)
+        B = scaled_derivative_tensors(d[None, :], 3)[0]
+        numeric = _numeric_scaled_derivative(d, alpha)
+        assert B[mis.position(alpha)] == pytest.approx(numeric, rel=5e-3, abs=1e-8)
+
+    @given(
+        st.floats(0.8, 3.0),
+        st.floats(-3.0, 3.0),
+        st.floats(-3.0, 3.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_first_derivatives_property(self, x, y, z):
+        d = np.array([x, y, z])
+        r = np.linalg.norm(d)
+        B = scaled_derivative_tensors(d[None, :], 1)[0]
+        mis = MultiIndexSet(1)
+        assert B[mis.position((0, 0, 0))] == pytest.approx(1.0 / r, rel=1e-12)
+        for ax, alpha in enumerate([(1, 0, 0), (0, 1, 0), (0, 0, 1)]):
+            assert B[mis.position(alpha)] == pytest.approx(-d[ax] / r**3, rel=1e-10)
+
+
+class TestAnalyticIdentities:
+    def test_second_derivative_closed_form(self, rng):
+        # D^2/dx^2 (1/r) / 2 = (3x^2 - r^2) / (2 r^5)
+        d = rng.uniform(0.5, 2.0, 3)
+        r = np.linalg.norm(d)
+        mis = MultiIndexSet(2)
+        B = scaled_derivative_tensors(d[None, :], 2)[0]
+        assert B[mis.position((2, 0, 0))] == pytest.approx(
+            (3 * d[0] ** 2 - r**2) / (2 * r**5), rel=1e-10
+        )
+
+    def test_harmonicity(self, rng):
+        # trace of the Hessian of 1/r vanishes: b_200 + b_020 + b_002 scaled
+        # by factorials: D_xx + D_yy + D_zz = 2(b_200 + b_020 + b_002) = 0
+        mis = MultiIndexSet(2)
+        d = rng.uniform(-2, 2, (20, 3)) + np.array([3.0, 0, 0])
+        B = scaled_derivative_tensors(d, 2)
+        lap = (
+            B[:, mis.position((2, 0, 0))]
+            + B[:, mis.position((0, 2, 0))]
+            + B[:, mis.position((0, 0, 2))]
+        )
+        assert np.allclose(lap, 0.0, atol=1e-12)
+
+    def test_scaling_homogeneity(self, rng):
+        # b_alpha(c d) = c^{-(|alpha|+1)} b_alpha(d)
+        d = rng.uniform(0.5, 1.5, (1, 3))
+        c = 2.7
+        p = 4
+        mis = MultiIndexSet(p)
+        B1 = scaled_derivative_tensors(d, p)[0]
+        B2 = scaled_derivative_tensors(c * d, p)[0]
+        scale = c ** -(mis.degrees.astype(float) + 1.0)
+        assert np.allclose(B2, B1 * scale, rtol=1e-12)
+
+    def test_parity(self, rng):
+        # b_alpha(-d) = (-1)^{|alpha|+?} ... G even: D^alpha G(-d) = (-1)^{|alpha|} D^alpha G(d)
+        d = rng.uniform(0.5, 1.5, (1, 3))
+        p = 3
+        mis = MultiIndexSet(p)
+        B1 = scaled_derivative_tensors(d, p)[0]
+        B2 = scaled_derivative_tensors(-d, p)[0]
+        signs = (-1.0) ** mis.degrees
+        assert np.allclose(B2, B1 * signs, rtol=1e-12)
+
+    def test_zero_displacement_rejected(self):
+        with pytest.raises(ValueError):
+            scaled_derivative_tensors(np.zeros((1, 3)), 2)

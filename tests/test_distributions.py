@@ -1,0 +1,109 @@
+"""Tests for the particle distribution generators."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    ParticleSet,
+    compact_plummer,
+    exponential_disk,
+    gaussian_blobs,
+    plummer,
+    uniform_cube,
+)
+
+
+class TestParticleSet:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            ParticleSet(np.zeros((5, 2)), np.zeros((5, 2)), np.ones(5))
+        with pytest.raises(ValueError):
+            ParticleSet(np.zeros((5, 3)), np.zeros((4, 3)), np.ones(5))
+        with pytest.raises(ValueError):
+            ParticleSet(np.zeros((5, 3)), np.zeros((5, 3)), np.ones(4))
+
+    def test_copy_is_deep(self):
+        ps = uniform_cube(10, seed=0)
+        cp = ps.copy()
+        cp.positions += 1.0
+        assert not np.allclose(ps.positions, cp.positions)
+
+    def test_vector_strengths_allowed(self):
+        ps = ParticleSet(np.zeros((4, 3)), np.zeros((4, 3)), np.ones((4, 3)))
+        assert ps.strengths.shape == (4, 3)
+
+
+class TestPlummer:
+    def test_deterministic(self):
+        a = plummer(100, seed=3).positions
+        b = plummer(100, seed=3).positions
+        assert np.array_equal(a, b)
+
+    def test_unit_masses_default(self):
+        ps = plummer(50, seed=0)
+        assert np.allclose(ps.strengths, 1.0)
+
+    def test_total_mass(self):
+        ps = plummer(50, seed=0, total_mass=5.0)
+        assert ps.strengths.sum() == pytest.approx(5.0)
+
+    def test_half_mass_radius_matches_theory(self):
+        # Plummer half-mass radius = a / sqrt(2^{2/3} - 1) ~ 1.305 a
+        ps = plummer(20000, seed=1, scale_radius=1.0)
+        r = np.linalg.norm(ps.positions, axis=1)
+        r_half = np.median(r)
+        assert r_half == pytest.approx(1.305, rel=0.05)
+
+    def test_virialized_near_equilibrium(self):
+        # 2K + W ~ 0 for a virialized cluster (sampled, so loose tolerance)
+        ps = plummer(4000, seed=2)
+        v2 = np.einsum("ij,ij->i", ps.velocities, ps.velocities)
+        K = 0.5 * float((ps.strengths * v2).sum())
+        # theoretical W for a Plummer sphere: -3 pi G M^2 / (32 a)
+        M = ps.strengths.sum()
+        W = -3 * np.pi * M**2 / 32.0
+        assert 2 * K / abs(W) == pytest.approx(1.0, rel=0.15)
+
+    def test_max_radius_respected(self):
+        ps = plummer(5000, seed=0, scale_radius=1.0, max_radius=5.0)
+        assert np.linalg.norm(ps.positions, axis=1).max() <= 5.0 + 1e-9
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            plummer(0)
+
+
+class TestCompactPlummer:
+    def test_fits_in_fraction_of_domain(self):
+        ps = compact_plummer(2000, seed=0, domain_size=1.0, fraction=1.0 / 64.0)
+        sub_edge = 1.0 * (1.0 / 64.0) ** (1.0 / 3.0)
+        assert np.abs(ps.positions).max() <= sub_edge / 2 + 1e-9
+
+    def test_velocity_scale(self):
+        cold = compact_plummer(500, seed=1, velocity_scale=0.0)
+        hot = compact_plummer(500, seed=1, velocity_scale=2.0)
+        assert np.allclose(cold.velocities, 0.0)
+        assert np.linalg.norm(hot.velocities, axis=1).max() > 0
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            compact_plummer(10, fraction=0.0)
+
+
+class TestOtherDistributions:
+    def test_uniform_in_cube(self):
+        ps = uniform_cube(3000, seed=0, size=2.0)
+        assert np.abs(ps.positions).max() <= 1.0
+
+    def test_gaussian_blobs_clustered(self):
+        ps = gaussian_blobs(3000, seed=0, n_blobs=3, sigma_fraction=0.01)
+        # tight blobs: most points near one of at most 3 centers
+        from scipy.cluster.vq import kmeans2
+
+        centroids, labels = kmeans2(ps.positions, 3, seed=1, minit="++")
+        spread = np.linalg.norm(ps.positions - centroids[labels], axis=1)
+        assert np.median(spread) < 0.1
+
+    def test_exponential_disk_flat(self):
+        ps = exponential_disk(3000, seed=0, thickness=0.01)
+        assert np.std(ps.positions[:, 2]) < 0.1 * np.std(ps.positions[:, 0])

@@ -1,0 +1,54 @@
+"""Tests for the §VIII-E endpoint-offload extension (P2M/L2P on the GPUs)."""
+
+import pytest
+
+from repro.distributions import plummer
+from repro.kernels import GravityKernel
+from repro.machine import HeterogeneousExecutor, system_a, system_b
+from repro.tree import build_adaptive
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return build_adaptive(plummer(5000, seed=0).positions, S=128)
+
+
+def executor(offload, n_cores=4, n_gpus=4, order=8):
+    return HeterogeneousExecutor(
+        system_a().with_resources(n_cores=n_cores, n_gpus=n_gpus),
+        order=order,
+        kernel=GravityKernel(),
+        offload_endpoints=offload,
+    )
+
+
+class TestEndpointOffload:
+    def test_cpu_time_drops(self, tree):
+        base = executor(False).time_step(tree)
+        off = executor(True).time_step(tree)
+        assert off.cpu_time < base.cpu_time
+
+    def test_gpu_time_grows(self, tree):
+        base = executor(False).time_step(tree)
+        off = executor(True).time_step(tree)
+        assert off.gpu_time > base.gpu_time
+
+    def test_no_endpoint_attribution_when_offloaded(self, tree):
+        off = executor(True).time_step(tree)
+        assert off.cpu_registry.coefficient("P2M") == 0.0
+        assert off.cpu_registry.coefficient("L2P") == 0.0
+        assert off.cpu_registry.coefficient("M2L") > 0.0
+
+    def test_requires_gpus(self):
+        with pytest.raises(ValueError):
+            HeterogeneousExecutor(
+                system_b(), order=4, kernel=GravityKernel(), offload_endpoints=True
+            )
+
+    def test_helps_cpu_starved_config(self, tree):
+        """At high order the endpoint floor binds the 4-core config; the
+        offload must reduce its compute time on a balanced-ish tree."""
+        base = executor(False).time_step(tree)
+        off = executor(True).time_step(tree)
+        if base.dominant == "cpu":
+            assert off.compute_time < base.compute_time

@@ -1,0 +1,47 @@
+"""Smoke tests: every example script runs end-to-end at a tiny scale."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str], capsys) -> str:
+    old = sys.argv
+    sys.argv = [name] + argv
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", ["2000"], capsys)
+    assert "potential relative error" in out
+    assert "done." in out
+
+
+def test_galaxy_collision(capsys):
+    out = run_example("galaxy_collision.py", ["600", "8"], capsys)
+    assert "summary:" in out
+    assert "separation" in out
+
+
+def test_stokes_swimmers(capsys):
+    out = run_example("stokes_swimmers.py", ["80", "4"], capsys)
+    assert "helices" in out
+    assert "done." in out
+
+
+def test_machine_tuning(capsys):
+    out = run_example("machine_tuning.py", ["3000"], capsys)
+    assert "best S" in out
+
+
+def test_cluster_strong_scaling(capsys):
+    out = run_example("cluster_strong_scaling.py", ["5000", "4"], capsys)
+    assert "busiest rank" in out

@@ -1,0 +1,185 @@
+"""Operator-level accuracy tests for both expansion backends.
+
+Each operator is checked against direct summation on random clouds;
+translation operators additionally satisfy exactness identities (M2M and
+L2L are exact maps on truncated expansions).
+"""
+
+import numpy as np
+import pytest
+
+from repro.expansions import CartesianExpansion, SphericalExpansion
+from repro.kernels import LaplaceKernel
+
+BACKENDS = [CartesianExpansion, SphericalExpansion]
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    rng = np.random.default_rng(11)
+    src = rng.uniform(-0.5, 0.5, (60, 3))
+    q = rng.uniform(-1, 1, 60)
+    tgt = rng.uniform(-0.5, 0.5, (25, 3)) + np.array([4.0, 0.5, -1.0])
+    ker = LaplaceKernel()
+    phi = ker.evaluate(tgt, src, q)[:, 0]
+    grad = ker.gradient(tgt, src, q)
+    return src, q, tgt, phi, grad
+
+
+def rel(a, b):
+    return np.max(np.abs(a - b)) / np.max(np.abs(b))
+
+
+@pytest.mark.parametrize("Backend", BACKENDS)
+class TestOperatorsAgainstDirect:
+    def test_p2m_m2p(self, Backend, cloud):
+        src, q, tgt, phi, _ = cloud
+        exp = Backend(6)
+        M = exp.p2m(src, q, np.zeros(3))
+        assert rel(exp.m2p(M, tgt, np.zeros(3)), phi) < 1e-4
+
+    def test_m2m(self, Backend, cloud):
+        src, q, tgt, phi, _ = cloud
+        exp = Backend(6)
+        M = exp.p2m(src, q, np.zeros(3))
+        c2 = np.array([0.25, -0.2, 0.15])
+        M2 = exp.m2m(M, c2 - np.zeros(3))
+        assert rel(exp.m2p(M2, tgt, c2), phi) < 1e-3
+
+    def test_m2l_l2p(self, Backend, cloud):
+        src, q, tgt, phi, _ = cloud
+        exp = Backend(6)
+        z = np.array([4.0, 0.5, -1.0])
+        L = exp.m2l(exp.p2m(src, q, np.zeros(3)), z)
+        assert rel(exp.l2p(L, tgt, z), phi) < 1e-4
+
+    def test_l2l(self, Backend, cloud):
+        src, q, tgt, phi, _ = cloud
+        exp = Backend(6)
+        z = np.array([4.0, 0.5, -1.0])
+        L = exp.m2l(exp.p2m(src, q, np.zeros(3)), z)
+        z2 = z + np.array([0.2, -0.1, 0.1])
+        L2 = exp.l2l(L, z2 - z)
+        assert rel(exp.l2p(L2, tgt, z2), phi) < 1e-3
+
+    def test_p2l(self, Backend, cloud):
+        src, q, tgt, phi, _ = cloud
+        exp = Backend(6)
+        z = np.array([4.0, 0.5, -1.0])
+        L = exp.p2l(src, q, z)
+        assert rel(exp.l2p(L, tgt, z), phi) < 1e-4
+
+    def test_l2p_gradient(self, Backend, cloud):
+        src, q, tgt, phi, grad = cloud
+        exp = Backend(6)
+        z = np.array([4.0, 0.5, -1.0])
+        L = exp.m2l(exp.p2m(src, q, np.zeros(3)), z)
+        assert rel(exp.l2p_gradient(L, tgt, z), grad) < 1e-2
+
+    def test_m2p_gradient(self, Backend, cloud):
+        src, q, tgt, phi, grad = cloud
+        exp = Backend(6)
+        M = exp.p2m(src, q, np.zeros(3))
+        assert rel(exp.m2p_gradient(M, tgt, np.zeros(3)), grad) < 1e-2
+
+    def test_error_decays_with_order(self, Backend, cloud):
+        src, q, tgt, phi, _ = cloud
+        errs = []
+        for p in (2, 4, 6):
+            exp = Backend(p)
+            M = exp.p2m(src, q, np.zeros(3))
+            errs.append(rel(exp.m2p(M, tgt, np.zeros(3)), phi))
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_dipole_p2m(self, Backend, cloud):
+        src, q, tgt, phi, _ = cloud
+        rng = np.random.default_rng(3)
+        pm = rng.uniform(-1, 1, (src.shape[0], 3))
+        d = tgt[:, None, :] - src[None, :, :]
+        r = np.linalg.norm(d, axis=2)
+        phi_dip = (np.einsum("tsk,sk->ts", d, pm) / r**3).sum(axis=1)
+        exp = Backend(6)
+        Md = exp.p2m_dipole(src, pm, np.zeros(3))
+        assert rel(exp.m2p(Md, tgt, np.zeros(3)), phi_dip) < 1e-3
+
+    def test_dipole_p2l(self, Backend, cloud):
+        src, q, tgt, phi, _ = cloud
+        rng = np.random.default_rng(4)
+        pm = rng.uniform(-1, 1, (src.shape[0], 3))
+        d = tgt[:, None, :] - src[None, :, :]
+        r = np.linalg.norm(d, axis=2)
+        phi_dip = (np.einsum("tsk,sk->ts", d, pm) / r**3).sum(axis=1)
+        exp = Backend(6)
+        z = np.array([4.0, 0.5, -1.0])
+        Ld = exp.p2l_dipole(src, pm, z)
+        assert rel(exp.l2p(Ld, tgt, z), phi_dip) < 1e-3
+
+
+@pytest.mark.parametrize("Backend", BACKENDS)
+class TestExactnessIdentities:
+    def test_m2m_exact_coefficients(self, Backend, rng):
+        # translating moments must equal recomputing them at the new center
+        exp = Backend(4)
+        src = rng.uniform(-0.4, 0.4, (30, 3))
+        q = rng.uniform(-1, 1, 30)
+        c2 = np.array([0.3, -0.1, 0.2])
+        M_direct = exp.p2m(src, q, c2)
+        M_shifted = exp.m2m(exp.p2m(src, q, np.zeros(3)), c2)
+        assert np.allclose(M_shifted, M_direct, rtol=1e-9, atol=1e-11)
+
+    def test_l2l_exact_values(self, Backend, rng):
+        # L2L translates a polynomial exactly: values agree at any point
+        exp = Backend(4)
+        src = rng.uniform(-0.4, 0.4, (30, 3))
+        q = rng.uniform(-1, 1, 30)
+        z = np.array([5.0, 0.0, 0.0])
+        L = exp.p2l(src, q, z)
+        z2 = z + np.array([0.1, 0.2, -0.1])
+        L2 = exp.l2l(L, z2 - z)
+        y = z + rng.uniform(-0.3, 0.3, (10, 3))
+        assert np.allclose(exp.l2p(L, y, z), exp.l2p(L2, y, z2), rtol=1e-8, atol=1e-12)
+
+
+class TestBackendCrossAgreement:
+    def test_same_field_both_backends(self, cloud):
+        src, q, tgt, phi, _ = cloud
+        z = np.array([4.0, 0.5, -1.0])
+        fields = []
+        for Backend in BACKENDS:
+            exp = Backend(5)
+            L = exp.m2l(exp.p2m(src, q, np.zeros(3)), z)
+            fields.append(np.real(exp.l2p(L, tgt, z)))
+        assert np.allclose(fields[0], fields[1], rtol=1e-8, atol=1e-12)
+
+    def test_coefficient_counts(self):
+        # Cartesian C(p+3,3) vs spherical (p+1)^2
+        assert CartesianExpansion(4).n_coeffs == 35
+        assert SphericalExpansion(4).n_coeffs == 25
+
+    def test_invalid_order(self):
+        for Backend in BACKENDS:
+            with pytest.raises(ValueError):
+                Backend(-1)
+
+
+class TestBatchedM2L:
+    def test_batch_matches_single(self, rng):
+        exp = CartesianExpansion(4)
+        M = rng.uniform(-1, 1, (7, exp.n_coeffs))
+        D = rng.uniform(2.0, 4.0, (7, 3))
+        batch = exp.m2l_batch(M, D)
+        for i in range(7):
+            assert np.allclose(batch[i], exp.m2l(M[i], D[i]))
+
+    def test_batch_shape_validation(self, rng):
+        exp = CartesianExpansion(2)
+        with pytest.raises(ValueError):
+            exp.m2l_batch(rng.uniform(size=(3, exp.n_coeffs)), rng.uniform(2, 3, (4, 3)))
+
+    def test_spherical_batch_matches_single(self, rng):
+        exp = SphericalExpansion(4)
+        M = rng.uniform(-1, 1, (5, exp.n_coeffs)) + 1j * rng.uniform(-1, 1, (5, exp.n_coeffs))
+        D = rng.uniform(2.0, 4.0, (5, 3))
+        batch = exp.m2l_batch(M, D)
+        for i in range(5):
+            assert np.allclose(batch[i], exp.m2l(M[i], D[i]))

@@ -1,0 +1,190 @@
+"""Tests for boxes, Morton keys, and octant/adjacency predicates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    Box,
+    bounding_box,
+    boxes_adjacent,
+    child_octant_of_points,
+    cube_containing,
+    decode_morton,
+    encode_morton,
+    morton_keys,
+    octant_offset,
+    well_separated,
+    MAX_MORTON_LEVEL,
+)
+
+
+class TestBox:
+    def test_basic_geometry(self):
+        b = Box((0.0, 0.0, 0.0), 2.0)
+        assert b.half == 1.0
+        assert np.allclose(b.low, [-1, -1, -1])
+        assert np.allclose(b.high, [1, 1, 1])
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            Box((0, 0, 0), 0.0)
+        with pytest.raises(ValueError):
+            Box((0, 0, 0), -1.0)
+
+    def test_contains(self):
+        b = Box((0.0, 0.0, 0.0), 2.0)
+        pts = np.array([[0, 0, 0], [1, 1, 1], [1.01, 0, 0]])
+        assert b.contains(pts).tolist() == [True, True, False]
+
+    def test_children_partition_parent(self):
+        b = Box((0.5, -0.25, 3.0), 4.0)
+        kids = [b.child(o) for o in range(8)]
+        # children half the size, centered in the right octant
+        for o, k in enumerate(kids):
+            assert k.size == pytest.approx(b.size / 2)
+            sign = octant_offset(o)
+            assert np.allclose(
+                np.asarray(k.center), np.asarray(b.center) + sign * b.size / 4
+            )
+        # each child corner of the parent is in exactly one child
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(-1.99, 1.99, (200, 3)) + np.asarray(b.center)
+        member = np.stack([k.contains(pts) for k in kids])
+        # interior points belong to >= 1 child (shared faces allow > 1)
+        assert member.any(axis=0).all()
+
+    def test_child_rejects_bad_octant(self):
+        with pytest.raises(ValueError):
+            Box((0, 0, 0), 1.0).child(8)
+
+    def test_bounding_box_contains_all(self, rng):
+        pts = rng.normal(size=(500, 3)) * [1, 5, 0.1]
+        b = bounding_box(pts)
+        assert b.contains(pts).all()
+
+    def test_bounding_box_rejects_empty(self):
+        with pytest.raises(ValueError):
+            bounding_box(np.zeros((0, 3)))
+
+    def test_cube_containing_grows(self):
+        b = Box((0, 0, 0), 1.0)
+        pts = np.array([[3.0, 0.0, 0.0]])
+        grown = cube_containing(b, pts)
+        assert grown.contains(pts).all()
+        assert grown.size >= b.size
+
+    def test_cube_containing_noop_when_inside(self):
+        b = Box((0, 0, 0), 1.0)
+        pts = np.array([[0.1, 0.1, 0.1]])
+        assert cube_containing(b, pts) is b
+
+
+class TestMorton:
+    @given(
+        st.lists(st.integers(0, 2**21 - 1), min_size=1, max_size=50),
+        st.lists(st.integers(0, 2**21 - 1), min_size=1, max_size=50),
+        st.lists(st.integers(0, 2**21 - 1), min_size=1, max_size=50),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, xs, ys, zs):
+        n = min(len(xs), len(ys), len(zs))
+        x = np.array(xs[:n], dtype=np.uint64)
+        y = np.array(ys[:n], dtype=np.uint64)
+        z = np.array(zs[:n], dtype=np.uint64)
+        dx, dy, dz = decode_morton(encode_morton(x, y, z))
+        assert np.array_equal(dx, x)
+        assert np.array_equal(dy, y)
+        assert np.array_equal(dz, z)
+
+    def test_morton_order_is_octant_major(self):
+        # keys in one octant of the root cube form a contiguous range
+        low = np.zeros(3)
+        keys = morton_keys(
+            np.array([[0.1, 0.1, 0.1], [0.9, 0.1, 0.1], [0.1, 0.9, 0.1], [0.9, 0.9, 0.9]]),
+            low,
+            1.0,
+        )
+        span = np.uint64(1) << np.uint64(3 * MAX_MORTON_LEVEL - 3)
+        octants = (keys // span).astype(int)
+        assert octants.tolist() == [0, 1, 2, 7]
+
+    def test_boundary_points_clamped(self):
+        keys = morton_keys(np.array([[1.0, 1.0, 1.0]]), np.zeros(3), 1.0)
+        assert keys[0] < (np.uint64(1) << np.uint64(63))
+
+    def test_level_validation(self):
+        with pytest.raises(ValueError):
+            morton_keys(np.zeros((1, 3)), np.zeros(3), 1.0, level=0)
+        with pytest.raises(ValueError):
+            morton_keys(np.zeros((1, 3)), np.zeros(3), 1.0, level=22)
+
+    @given(st.floats(-10, 10), st.floats(-10, 10), st.floats(-10, 10))
+    @settings(max_examples=50, deadline=None)
+    def test_nearby_points_map_to_adjacent_cells(self, cx, cy, cz):
+        c = np.array([cx, cy, cz])
+        pts = c + np.array([[0.0, 0.0, 0.0], [1e-9, 1e-9, 1e-9]])
+        keys = morton_keys(pts, c - 5.0, 20.0)
+        # identical points share a key; nearby points land in the same or
+        # an adjacent fine-grid cell (they can straddle a cell boundary)
+        ax, ay, az = decode_morton(keys[0])
+        bx, by, bz = decode_morton(keys[1])
+        assert max(abs(int(ax) - int(bx)), abs(int(ay) - int(by)), abs(int(az) - int(bz))) <= 1
+        same = morton_keys(pts[:1], c - 5.0, 20.0)
+        assert same[0] == keys[0]
+
+
+class TestAdjacency:
+    def test_identical_boxes_adjacent(self):
+        b = Box((0, 0, 0), 1.0)
+        assert boxes_adjacent(b, b)
+        assert not well_separated(b, b)
+
+    def test_touching_faces(self):
+        a = Box((0, 0, 0), 1.0)
+        b = Box((1.0, 0, 0), 1.0)
+        assert boxes_adjacent(a, b)
+
+    def test_touching_corner(self):
+        a = Box((0, 0, 0), 1.0)
+        b = Box((1.0, 1.0, 1.0), 1.0)
+        assert boxes_adjacent(a, b)
+
+    def test_separated(self):
+        a = Box((0, 0, 0), 1.0)
+        b = Box((2.5, 0, 0), 1.0)
+        assert well_separated(a, b)
+
+    def test_mixed_sizes(self):
+        big = Box((0, 0, 0), 2.0)
+        inside_touching = Box((0.75, 0, 0), 0.5)  # spans [0.5, 1.0]: overlaps
+        assert boxes_adjacent(big, inside_touching)
+        face_touching = Box((1.25, 0, 0), 0.5)  # spans [1.0, 1.5]: touches
+        assert boxes_adjacent(big, face_touching)
+        assert well_separated(big, Box((1.3, 0, 0), 0.5))  # gap 0.05
+        assert well_separated(big, Box((3.0, 0, 0), 0.5))
+
+
+class TestOctant:
+    def test_octant_offsets_unique(self):
+        offs = {tuple(octant_offset(o)) for o in range(8)}
+        assert len(offs) == 8
+
+    def test_octant_offset_validation(self):
+        with pytest.raises(ValueError):
+            octant_offset(-1)
+
+    def test_child_octant_classification(self):
+        center = np.zeros(3)
+        pts = np.array([[-1, -1, -1], [1, -1, -1], [-1, 1, -1], [1, 1, 1]])
+        assert child_octant_of_points(pts, center).tolist() == [0, 1, 2, 7]
+
+    def test_classification_consistent_with_child_boxes(self, rng):
+        b = Box((0.2, -0.1, 0.4), 2.0)
+        pts = rng.uniform(-1, 1, (300, 3)) + np.asarray(b.center)
+        octs = child_octant_of_points(pts, np.asarray(b.center))
+        for o in range(8):
+            sel = pts[octs == o]
+            if sel.size:
+                assert b.child(o).contains(sel, atol=1e-12).all()

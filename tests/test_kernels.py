@@ -1,0 +1,168 @@
+"""Tests for the interaction kernels and direct evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    GravityKernel,
+    LaplaceKernel,
+    RegularizedStokesletKernel,
+    direct_evaluate,
+    p2p_pair,
+    p2p_self,
+)
+
+
+class TestLaplace:
+    def test_single_pair_potential(self):
+        k = LaplaceKernel()
+        phi = k.evaluate(np.array([[2.0, 0, 0]]), np.array([[0.0, 0, 0]]), np.array([3.0]))
+        assert phi[0, 0] == pytest.approx(1.5)
+
+    def test_gradient_matches_finite_difference(self, rng):
+        k = LaplaceKernel()
+        src = rng.uniform(-1, 1, (20, 3))
+        q = rng.uniform(-1, 1, 20)
+        t = np.array([[2.0, 0.3, -0.4]])
+        g = k.gradient(t, src, q)[0]
+        h = 1e-6
+        for ax in range(3):
+            e = np.zeros(3)
+            e[ax] = h
+            num = (
+                k.evaluate(t + e, src, q)[0, 0] - k.evaluate(t - e, src, q)[0, 0]
+            ) / (2 * h)
+            assert g[ax] == pytest.approx(num, rel=1e-5)
+
+    def test_self_interaction_suppressed(self):
+        k = LaplaceKernel()
+        pts = np.array([[0.0, 0, 0], [1.0, 0, 0]])
+        q = np.ones(2)
+        phi = k.evaluate(pts, pts, q, exclude_self=True)
+        assert np.allclose(phi[:, 0], [1.0, 1.0])
+
+    def test_softening_self_term(self):
+        k = LaplaceKernel(softening=0.1)
+        pts = np.array([[0.0, 0, 0]])
+        self_term = k.self_interaction(pts, np.array([2.0]))
+        assert self_term[0, 0] == pytest.approx(20.0)
+
+    def test_softening_validation(self):
+        with pytest.raises(ValueError):
+            LaplaceKernel(softening=-1)
+
+
+class TestGravity:
+    def test_acceleration_direction(self):
+        # a body at x=2 is pulled toward a mass at the origin (-x direction)
+        k = GravityKernel(G=1.0)
+        a = k.gradient(np.array([[2.0, 0, 0]]), np.array([[0.0, 0, 0]]), np.array([4.0]))
+        assert a[0, 0] == pytest.approx(-1.0)  # G m / r^2 = 4/4
+        assert a[0, 1] == pytest.approx(0.0)
+
+    def test_potential_negative(self):
+        k = GravityKernel(G=2.0)
+        phi = k.evaluate(np.array([[1.0, 0, 0]]), np.array([[0.0, 0, 0]]), np.array([1.0]))
+        assert phi[0, 0] == pytest.approx(-2.0)
+
+    def test_momentum_conservation(self, rng):
+        k = GravityKernel(G=1.0)
+        pts = rng.uniform(-1, 1, (30, 3))
+        m = rng.uniform(0.5, 2.0, 30)
+        acc = k.gradient(pts, pts, m, exclude_self=True)
+        # sum of m_i a_i = total force = 0 by Newton's third law
+        assert np.allclose((m[:, None] * acc).sum(axis=0), 0.0, atol=1e-10)
+
+    def test_laplace_scale(self):
+        assert GravityKernel(G=3.0).laplace_scale == -3.0
+        assert LaplaceKernel().laplace_scale == 1.0
+
+
+class TestStokeslet:
+    def test_velocity_along_force_on_axis(self):
+        # a Stokeslet pointing in +x produces +x velocity everywhere on the x axis
+        k = RegularizedStokesletKernel(epsilon=1e-3)
+        u = k.evaluate(
+            np.array([[1.0, 0, 0]]), np.array([[0.0, 0, 0]]), np.array([[1.0, 0, 0]])
+        )
+        assert u[0, 0] > 0
+        assert abs(u[0, 1]) < 1e-12 and abs(u[0, 2]) < 1e-12
+
+    def test_on_axis_magnitude_matches_formula(self):
+        # on the axis: u = f (r^2 + 2 eps^2 + r^2) / (8 pi mu (r^2+eps^2)^{3/2})
+        eps, mu, r = 0.01, 1.3, 2.0
+        k = RegularizedStokesletKernel(epsilon=eps, viscosity=mu)
+        u = k.evaluate(
+            np.array([[r, 0, 0]]), np.array([[0.0, 0, 0]]), np.array([[1.0, 0, 0]])
+        )
+        expected = (2 * r**2 + 2 * eps**2) / (8 * np.pi * mu * (r**2 + eps**2) ** 1.5)
+        assert u[0, 0] == pytest.approx(expected, rel=1e-12)
+
+    def test_finite_at_origin(self):
+        k = RegularizedStokesletKernel(epsilon=0.1, viscosity=1.0)
+        u = k.evaluate(np.zeros((1, 3)), np.zeros((1, 3)), np.array([[1.0, 0, 0]]))
+        assert np.isfinite(u).all()
+        assert u[0, 0] == pytest.approx(1.0 / (4 * np.pi * 0.1))
+
+    def test_self_interaction_matches_r0_limit(self):
+        k = RegularizedStokesletKernel(epsilon=0.05)
+        f = np.array([[0.3, -0.2, 0.9]])
+        pts = np.zeros((1, 3))
+        self_term = k.self_interaction(pts, f)
+        full = k.evaluate(pts, pts, f)
+        assert np.allclose(self_term, full)
+
+    def test_strength_shape_validation(self):
+        k = RegularizedStokesletKernel()
+        with pytest.raises(ValueError):
+            k.evaluate(np.zeros((2, 3)), np.zeros((2, 3)), np.ones(2))
+
+    def test_cost_profile_m2l_4x(self):
+        assert RegularizedStokesletKernel().cost_profile.weight("M2L") == 4.0
+        assert LaplaceKernel().cost_profile.weight("M2L") == 1.0
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            RegularizedStokesletKernel(epsilon=0.0)
+        with pytest.raises(ValueError):
+            RegularizedStokesletKernel(viscosity=-1.0)
+
+
+class TestDirect:
+    def test_chunked_matches_unchunked(self, rng):
+        k = LaplaceKernel()
+        pts = rng.uniform(-1, 1, (150, 3))
+        q = rng.uniform(-1, 1, 150)
+        full = direct_evaluate(k, pts, pts, q, exclude_self=True, chunk=10_000)
+        chunked = direct_evaluate(k, pts, pts, q, exclude_self=True, chunk=7)
+        assert np.allclose(full, chunked)
+
+    def test_exclude_self_regularized(self, rng):
+        k = RegularizedStokesletKernel(epsilon=0.1)
+        pts = rng.uniform(-1, 1, (20, 3))
+        f = rng.uniform(-1, 1, (20, 3))
+        with_self = direct_evaluate(k, pts, pts, f)
+        without = direct_evaluate(k, pts, pts, f, exclude_self=True)
+        delta = with_self - without
+        assert np.allclose(delta, k.self_interaction(pts, f))
+
+    def test_p2p_pair_and_self_consistency(self, rng):
+        k = LaplaceKernel()
+        a = rng.uniform(-1, 1, (10, 3))
+        b = rng.uniform(2, 3, (8, 3))
+        qa = rng.uniform(0.5, 1, 10)
+        qb = rng.uniform(0.5, 1, 8)
+        # evaluating a against (a, b) = self(a) + pair(a<-b)
+        allpts = np.vstack([a, b])
+        allq = np.concatenate([qa, qb])
+        combined = direct_evaluate(k, a, allpts, allq, exclude_self=True)
+        split = p2p_self(k, a, qa) + p2p_pair(k, a, b, qb)
+        assert np.allclose(combined, split)
+
+    def test_gradient_path(self, rng):
+        k = GravityKernel(G=1.0)
+        pts = rng.uniform(-1, 1, (30, 3))
+        m = np.ones(30)
+        g = direct_evaluate(k, pts, pts, m, gradient=True, exclude_self=True)
+        assert g.shape == (30, 3)
+        assert np.allclose((m[:, None] * g).sum(axis=0), 0.0, atol=1e-10)

@@ -1,0 +1,100 @@
+"""Tests for the composite (harmonic-decomposition) Stokeslet FMM."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import gaussian_blobs, uniform_cube
+from repro.kernels import (
+    RegularizedStokesletKernel,
+    StokesletFMMSolver,
+    direct_evaluate,
+)
+from repro.tree import build_adaptive, build_interaction_lists
+
+
+def rel(a, b):
+    return float(np.linalg.norm(a - b) / np.linalg.norm(b))
+
+
+@pytest.fixture(scope="module")
+def problem():
+    rng = np.random.default_rng(0)
+    ps = uniform_cube(1200, seed=1)
+    f = rng.uniform(-1, 1, (1200, 3))
+    return ps.positions, f
+
+
+class TestAccuracy:
+    def test_matches_direct_small_eps(self, problem):
+        pts, f = problem
+        ker = RegularizedStokesletKernel(epsilon=1e-4)
+        tree = build_adaptive(pts, S=40)
+        res = StokesletFMMSolver(ker, order=5).solve(tree, f)
+        exact = direct_evaluate(ker, pts, pts, f, exclude_self=True)
+        assert rel(res.velocity, exact) < 5e-3
+
+    def test_error_decays_with_order(self, problem):
+        pts, f = problem
+        ker = RegularizedStokesletKernel(epsilon=1e-4)
+        tree = build_adaptive(pts, S=40)
+        exact = direct_evaluate(ker, pts, pts, f, exclude_self=True)
+        errs = [
+            rel(StokesletFMMSolver(ker, order=p).solve(tree, f).velocity, exact)
+            for p in (3, 5, 7)
+        ]
+        assert errs[0] > errs[1] > errs[2]
+        assert errs[2] < 1e-3
+
+    def test_moderate_regularization(self, problem):
+        # with a physically sized blob the near field (regularized exactly)
+        # dominates close interactions; far-field mismatch stays O(eps^2)
+        pts, f = problem
+        ker = RegularizedStokesletKernel(epsilon=5e-3)
+        tree = build_adaptive(pts, S=40)
+        res = StokesletFMMSolver(ker, order=5).solve(tree, f)
+        exact = direct_evaluate(ker, pts, pts, f, exclude_self=True)
+        assert rel(res.velocity, exact) < 5e-3
+
+    def test_clustered_distribution(self):
+        rng = np.random.default_rng(3)
+        ps = gaussian_blobs(900, seed=2, sigma_fraction=0.01)
+        f = rng.uniform(-1, 1, (900, 3))
+        ker = RegularizedStokesletKernel(epsilon=1e-4)
+        tree = build_adaptive(ps.positions, S=25)
+        res = StokesletFMMSolver(ker, order=5).solve(tree, f)
+        exact = direct_evaluate(ker, ps.positions, ps.positions, f, exclude_self=True)
+        assert rel(res.velocity, exact) < 5e-3
+
+    def test_unfolded_lists(self, problem):
+        pts, f = problem
+        ker = RegularizedStokesletKernel(epsilon=1e-4)
+        tree = build_adaptive(pts, S=40)
+        res = StokesletFMMSolver(ker, order=5, folded=False).solve(tree, f)
+        exact = direct_evaluate(ker, pts, pts, f, exclude_self=True)
+        assert rel(res.velocity, exact) < 5e-3
+
+
+class TestStructure:
+    def test_force_shape_validated(self, problem):
+        pts, _ = problem
+        tree = build_adaptive(pts, S=40)
+        with pytest.raises(ValueError):
+            StokesletFMMSolver().solve(tree, np.ones(tree.n_bodies))
+
+    def test_op_counts_scaled_by_passes(self, problem):
+        pts, f = problem
+        tree = build_adaptive(pts, S=40)
+        lists = build_interaction_lists(tree, folded=True)
+        base = lists.op_counts()
+        res = StokesletFMMSolver(order=3).solve(tree, f, lists=lists)
+        assert res.op_counts["M2L"] == 7 * base["M2L"]
+        assert res.op_counts["P2P"] == base["P2P"]
+        assert res.n_passes == 7
+
+    def test_linearity(self, problem):
+        pts, f = problem
+        tree = build_adaptive(pts, S=40)
+        solver = StokesletFMMSolver(order=4)
+        u1 = solver.solve(tree, f).velocity
+        u2 = solver.solve(tree, 2.0 * f).velocity
+        assert np.allclose(u2, 2.0 * u1, rtol=1e-10)

@@ -1,0 +1,260 @@
+"""Tests for the adaptive octree: build invariants, surgery, refit."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import gaussian_blobs, plummer, uniform_cube
+from repro.geometry import Box
+from repro.tree import AdaptiveOctree, build_adaptive, build_uniform, uniform_depth_for
+
+
+def check_invariants(tree: AdaptiveOctree):
+    """Core structural invariants of the effective tree."""
+    eff = tree.effective_nodes()
+    leaves = tree.leaves()
+    nodes = tree.nodes
+    # 1. leaves partition the bodies
+    covered = np.concatenate([tree.bodies(l) for l in leaves]) if leaves else np.array([])
+    assert sorted(covered.tolist()) == list(range(tree.n_bodies))
+    # 2. every internal node's children partition its range
+    for nid in eff:
+        node = nodes[nid]
+        if node.is_leaf:
+            continue
+        kids = tree.effective_children(nid)
+        assert kids, f"internal node {nid} has no children"
+        spans = sorted((nodes[c].lo, nodes[c].hi) for c in kids)
+        assert sum(hi - lo for lo, hi in spans) == node.count
+        assert spans[0][0] == node.lo and spans[-1][1] == node.hi
+    # 3. each body lies geometrically inside its leaf's box
+    for l in leaves:
+        idx = tree.bodies(l)
+        if idx.size:
+            assert nodes[l].box.contains(tree.points[idx], atol=1e-9).all()
+    # 4. levels increase down the tree
+    for nid in eff:
+        node = nodes[nid]
+        if node.parent >= 0:
+            assert node.level == nodes[node.parent].level + 1
+
+
+class TestBuild:
+    def test_leaf_capacity_respected(self, plummer_small):
+        tree = build_adaptive(plummer_small.positions, S=30)
+        for l in tree.leaves():
+            assert tree.nodes[l].count <= 30
+        check_invariants(tree)
+
+    def test_uniform_distribution(self, uniform_small):
+        tree = build_adaptive(uniform_small.positions, S=50)
+        check_invariants(tree)
+
+    def test_highly_clustered(self):
+        ps = gaussian_blobs(1000, seed=0, sigma_fraction=0.002)
+        tree = build_adaptive(ps.positions, S=20)
+        check_invariants(tree)
+        assert tree.depth() >= 4  # tight blobs force deep refinement
+
+    def test_single_body(self):
+        tree = build_adaptive(np.array([[0.1, 0.2, 0.3]]), S=5)
+        assert len(tree.leaves()) == 1
+        assert tree.nodes[0].is_leaf
+
+    def test_duplicate_points(self):
+        # duplicates can never be separated; max_level stops the recursion
+        pts = np.tile(np.array([[0.5, 0.5, 0.5]]), (20, 1))
+        pts = np.vstack([pts, np.array([[0.0, 0.0, 0.0]])])
+        tree = AdaptiveOctree(pts, S=4, max_level=6)
+        check_invariants(tree)
+        assert max(tree.nodes[l].count for l in tree.leaves()) >= 20
+
+    def test_explicit_root_box(self, uniform_small):
+        root = Box((0, 0, 0), 10.0)
+        tree = build_adaptive(uniform_small.positions, S=40, root_box=root)
+        assert tree.nodes[0].size == 10.0
+        check_invariants(tree)
+
+    def test_root_box_must_contain_points(self):
+        with pytest.raises(ValueError):
+            AdaptiveOctree(np.array([[5.0, 0, 0]]), S=4, root_box=Box((0, 0, 0), 1.0))
+
+    def test_invalid_params(self, uniform_small):
+        with pytest.raises(ValueError):
+            AdaptiveOctree(uniform_small.positions, S=0)
+        with pytest.raises(ValueError):
+            AdaptiveOctree(uniform_small.positions, S=4, max_level=0)
+        with pytest.raises(ValueError):
+            AdaptiveOctree(np.zeros((3, 2)), S=4)
+
+    @given(st.integers(1, 200), st.integers(1, 64))
+    @settings(max_examples=20, deadline=None)
+    def test_random_sizes_property(self, n, S):
+        rng = np.random.default_rng(n * 1000 + S)
+        pts = rng.uniform(-1, 1, (n, 3))
+        tree = build_adaptive(pts, S=S)
+        leaves = tree.leaves()
+        total = sum(tree.nodes[l].count for l in leaves)
+        assert total == n
+
+    def test_leaf_of_body(self, plummer_small):
+        tree = build_adaptive(plummer_small.positions, S=25)
+        for body in [0, 17, 100, plummer_small.n - 1]:
+            leaf = tree.leaf_of_body(body)
+            assert body in tree.bodies(leaf).tolist()
+
+    def test_stats(self, plummer_small):
+        tree = build_adaptive(plummer_small.positions, S=25)
+        s = tree.stats()
+        assert s["n_bodies"] == plummer_small.n
+        assert s["leaf_count_max"] <= 25
+        assert s["n_leaves"] == len(tree.leaves())
+
+
+class TestSurgery:
+    def test_collapse_makes_leaf(self, plummer_small):
+        tree = build_adaptive(plummer_small.positions, S=20)
+        internal = [n for n in tree.effective_nodes() if not tree.nodes[n].is_leaf and n != 0]
+        nid = internal[-1]
+        count_before = tree.nodes[nid].count
+        tree.collapse(nid)
+        assert tree.nodes[nid].is_leaf
+        assert tree.nodes[nid].count == count_before
+        check_invariants(tree)
+
+    def test_collapse_requires_internal(self, plummer_small):
+        tree = build_adaptive(plummer_small.positions, S=20)
+        leaf = tree.leaves()[0]
+        with pytest.raises(ValueError):
+            tree.collapse(leaf)
+
+    def test_pushdown_reclaims_hidden(self, plummer_small):
+        tree = build_adaptive(plummer_small.positions, S=20)
+        internal = [n for n in tree.effective_nodes() if not tree.nodes[n].is_leaf and n != 0]
+        nid = internal[-1]
+        n_nodes_before = len(tree.nodes)
+        tree.collapse(nid)
+        kids = tree.pushdown(nid)
+        assert len(tree.nodes) == n_nodes_before  # reclaimed, not reallocated
+        assert all(not tree.nodes[c].hidden for c in kids)
+        check_invariants(tree)
+
+    def test_pushdown_allocates_new(self, uniform_small):
+        tree = build_adaptive(uniform_small.positions, S=1000)
+        leaf = max(tree.leaves(), key=lambda l: tree.nodes[l].count)
+        before = len(tree.nodes)
+        kids = tree.pushdown(leaf)
+        assert len(tree.nodes) > before
+        assert sum(tree.nodes[c].count for c in kids) == tree.nodes[leaf].count
+        check_invariants(tree)
+
+    def test_pushdown_requires_leaf(self, plummer_small):
+        tree = build_adaptive(plummer_small.positions, S=20)
+        with pytest.raises(ValueError):
+            tree.pushdown(0)  # root is internal at this S
+
+    def test_collapse_pushdown_roundtrip_effective_shape(self, plummer_small):
+        tree = build_adaptive(plummer_small.positions, S=40)
+        internal = [
+            n
+            for n in tree.effective_nodes()
+            if not tree.nodes[n].is_leaf
+            and all(tree.nodes[c].is_leaf for c in tree.effective_children(n))
+        ]
+        nid = internal[0]
+        kids_before = set(tree.effective_children(nid))
+        tree.collapse(nid)
+        tree.pushdown(nid)
+        assert set(tree.effective_children(nid)) == kids_before
+        check_invariants(tree)
+
+
+class TestEnforceS:
+    def test_enforce_restores_capacity(self, plummer_small):
+        tree = build_adaptive(plummer_small.positions, S=60)
+        tree.enforce_s(25)
+        for l in tree.leaves():
+            node = tree.nodes[l]
+            assert node.count <= 25 or node.level >= tree.max_level
+        check_invariants(tree)
+
+    def test_enforce_collapses_underfull(self, plummer_small):
+        tree = build_adaptive(plummer_small.positions, S=20)
+        n_leaves_before = len(tree.leaves())
+        ops = tree.enforce_s(200)  # much larger S: many parents now underfull
+        assert ops["collapses"] > 0
+        assert len(tree.leaves()) < n_leaves_before
+        check_invariants(tree)
+
+    def test_enforce_idempotent(self, plummer_small):
+        tree = build_adaptive(plummer_small.positions, S=30)
+        tree.enforce_s(30)
+        ops = tree.enforce_s(30)
+        assert ops == {"collapses": 0, "pushdowns": 0}
+
+
+class TestRefit:
+    def test_refit_tracks_moved_bodies(self, uniform_small):
+        pts = uniform_small.positions.copy()
+        tree = AdaptiveOctree(pts, S=40, root_box=Box((0, 0, 0), 4.0))
+        rng = np.random.default_rng(0)
+        pts += rng.normal(0, 0.2, pts.shape)
+        np.clip(pts, -1.9, 1.9, out=pts)
+        tree.points = pts
+        tree.refit()
+        check_invariants(tree)
+
+    def test_refit_rejects_out_of_box(self, uniform_small):
+        pts = uniform_small.positions.copy()
+        tree = AdaptiveOctree(pts, S=40)
+        pts[0] = tree.root_box.high * 10
+        tree.points = pts
+        with pytest.raises(ValueError):
+            tree.refit()
+
+    def test_refit_preserves_existing_structure(self, uniform_small):
+        pts = uniform_small.positions.copy()
+        tree = AdaptiveOctree(pts, S=40, root_box=Box((0, 0, 0), 4.0))
+        shape_before = [(n.id, n.is_leaf, n.hidden) for n in tree.nodes]
+        pts += 0.01
+        tree.points = pts
+        tree.refit()
+        # pre-existing nodes keep their flags; refit may only *append* new
+        # leaf children for octants that were empty at build time
+        after = [(n.id, n.is_leaf, n.hidden) for n in tree.nodes[: len(shape_before)]]
+        assert after == shape_before
+        for n in tree.nodes[len(shape_before) :]:
+            assert n.is_leaf and not n.hidden
+
+
+class TestUniformTree:
+    @pytest.mark.parametrize(
+        "n,S,expected", [(100, 100, 0), (1000, 100, 2), (8000, 1000, 1), (64000, 1000, 2)]
+    )
+    def test_depth_rule(self, n, S, expected):
+        assert uniform_depth_for(n, S) == expected
+
+    def test_all_leaves_same_level(self, uniform_small):
+        tree = build_uniform(uniform_small.positions, depth=3)
+        levels = {tree.nodes[l].level for l in tree.leaves()}
+        assert levels == {3}
+        check_invariants(tree)
+
+    def test_from_s(self, uniform_small):
+        tree = build_uniform(uniform_small.positions, S=100)
+        assert tree.uniform_depth == uniform_depth_for(uniform_small.n, 100)
+
+    def test_requires_exactly_one_of_s_depth(self, uniform_small):
+        with pytest.raises(ValueError):
+            build_uniform(uniform_small.positions)
+        with pytest.raises(ValueError):
+            build_uniform(uniform_small.positions, S=10, depth=2)
+
+    def test_depth_validation(self, uniform_small):
+        with pytest.raises(ValueError):
+            build_uniform(uniform_small.positions, depth=25)
+        with pytest.raises(ValueError):
+            uniform_depth_for(0, 10)
+        with pytest.raises(ValueError):
+            uniform_depth_for(10, 0)
