@@ -40,7 +40,6 @@ from repro.balance.states import BalancerState
 from repro.costmodel.coefficients import ObservedCoefficients
 from repro.costmodel.predictor import predict_times
 from repro.machine.executor import HeterogeneousExecutor, StepTiming
-from repro.tree.lists import build_interaction_lists
 from repro.tree.octree import AdaptiveOctree
 
 __all__ = ["DynamicLoadBalancer", "LBOutcome"]
@@ -190,7 +189,7 @@ class DynamicLoadBalancer:
         if self.mode == "enforce":
             self._expect_new_best = True
             return
-        lists = build_interaction_lists(tree, folded=self.executor.folded)
+        lists = self.executor.list_cache.get(tree, folded=self.executor.folded)
         pred = predict_times(lists.op_counts(), self.coeffs)
         out.lb_time += self.executor.time_prediction(tree)
         if pred.compute_time <= self.best_time * (1.0 + cfg.degradation_tolerance):

@@ -63,6 +63,9 @@ def _restore(tree: AdaptiveOctree, snap: list[tuple[bool, bool]]) -> None:
     for node, (is_leaf, hidden) in zip(tree.nodes, snap):
         node.is_leaf = is_leaf
         node.hidden = hidden
+    # the flags were flipped behind the surgery API: stamp the shape change
+    # so generation-keyed list caches drop their now-stale entries
+    tree.mark_structure_dirty()
 
 
 def _collapse_candidates(tree: AdaptiveOctree, k: int) -> list[int]:
@@ -135,7 +138,15 @@ def fine_grained_optimize(
     """
     config = config or BalancerConfig()
     report = FineGrainedReport()
-    lists = build_interaction_lists(tree, folded=folded)
+    # route builds through the executor's cache when it has one (mock
+    # executors in tests may not); every surgery round bumps the tree's
+    # structure generation, so cached lookups rebuild exactly when needed
+    cache = getattr(executor, "list_cache", None)
+    if cache is not None:
+        get_lists = lambda: cache.get(tree, folded=folded)  # noqa: E731
+    else:
+        get_lists = lambda: build_interaction_lists(tree, folded=folded)  # noqa: E731
+    lists = get_lists()
     best = predict_times(lists.op_counts(), coeffs)
     report.initial = best
     report.predictions += 1
@@ -161,7 +172,7 @@ def fine_grained_optimize(
                     n_ops += 1
         if n_ops == 0:
             break
-        lists = build_interaction_lists(tree, folded=folded)
+        lists = get_lists()
         pred = predict_times(lists.op_counts(), coeffs)
         report.predictions += 1
         report.lb_time += executor.time_prediction(tree) + executor.time_surgery(n_ops)
@@ -175,7 +186,7 @@ def fine_grained_optimize(
                 report.pushdowns += n_ops
         else:
             _restore(tree, snap)
-            lists = build_interaction_lists(tree, folded=folded)
+            lists = get_lists()
             break
 
     report.final = best

@@ -21,7 +21,8 @@ from repro.gpu.model import GPUKernelModel
 from repro.gpu.partition import NearFieldWorkItem, partition_targets
 from repro.kernels.base import Kernel
 from repro.machine.spec import MachineSpec
-from repro.tree.lists import InteractionLists, build_interaction_lists
+from repro.tree.cache import ListCache
+from repro.tree.lists import InteractionLists
 from repro.tree.octree import AdaptiveOctree
 
 __all__ = ["ClusterSpec", "ClusterStepTiming", "DistributedExecutor"]
@@ -75,11 +76,13 @@ class DistributedExecutor:
         order: int = 4,
         kernel: Kernel | None = None,
         folded: bool = True,
+        list_cache: ListCache | None = None,
     ) -> None:
         self.cluster = cluster
         self.order = order
         self.kernel = kernel
         self.folded = folded
+        self.list_cache = list_cache if list_cache is not None else ListCache()
         self.units = atomic_units(order, kernel)
         from repro.expansions.multiindex import MultiIndexSet
 
@@ -94,7 +97,7 @@ class DistributedExecutor:
         partition: RankPartition | None = None,
     ) -> ClusterStepTiming:
         if lists is None:
-            lists = build_interaction_lists(tree, folded=self.folded)
+            lists = self.list_cache.get(tree, folded=self.folded)
         if partition is None:
             partition = partition_by_morton_work(
                 tree, lists, self.cluster.n_nodes, order=self.order, kernel=self.kernel

@@ -37,14 +37,17 @@ import numpy as np
 __all__ = ["SphericalExpansion"]
 
 
-def _legendre_table(x: np.ndarray, p: int) -> np.ndarray:
+def _legendre_table(x: np.ndarray, p: int, s: np.ndarray | None = None) -> np.ndarray:
     """Associated Legendre P_n^m(x) for 0 <= m <= n <= p.
 
     Shape (p+1, p+1, len(x)); entries with m > n are zero.  Includes the
-    Condon–Shortley phase.
+    Condon–Shortley phase.  ``s`` is sin(theta); pass it when it is known
+    exactly — reconstructing it as sqrt(1 - x^2) loses half the digits
+    near the poles, which the m != 0 ladder amplifies.
     """
     x = np.asarray(x, dtype=float)
-    s = np.sqrt(np.maximum(0.0, 1.0 - x * x))
+    if s is None:
+        s = np.sqrt(np.maximum(0.0, 1.0 - x * x))
     P = np.zeros((p + 1, p + 1) + x.shape)
     P[0, 0] = 1.0
     for m in range(1, p + 1):
@@ -57,14 +60,23 @@ def _legendre_table(x: np.ndarray, p: int) -> np.ndarray:
     return P
 
 
-def _spherical_coords(v: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """(rho, cos_theta, phi) of each 3-vector (rows)."""
+def _spherical_coords(
+    v: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """(rho, cos_theta, sin_theta, phi) of each 3-vector (rows).
+
+    sin_theta comes from the transverse radius hypot(x, y) directly, so it
+    keeps full relative accuracy for near-axis vectors.
+    """
     v = np.atleast_2d(np.asarray(v, dtype=float))
     rho = np.sqrt(np.einsum("ij,ij->i", v, v))
+    trans = np.hypot(v[:, 0], v[:, 1])
+    safe = np.where(rho > 0, rho, 1.0)
     with np.errstate(invalid="ignore", divide="ignore"):
-        ct = np.where(rho > 0, v[:, 2] / np.where(rho > 0, rho, 1.0), 1.0)
+        ct = np.where(rho > 0, v[:, 2] / safe, 1.0)
+        st = np.where(rho > 0, trans / safe, 0.0)
     phi = np.arctan2(v[:, 1], v[:, 0])
-    return rho, np.clip(ct, -1.0, 1.0), phi
+    return rho, np.clip(ct, -1.0, 1.0), np.clip(st, 0.0, 1.0), phi
 
 
 @lru_cache(maxsize=None)
@@ -98,8 +110,8 @@ def _solid_tables(vectors: np.ndarray, p: int) -> tuple[np.ndarray, np.ndarray]:
     well-separated displacements.
     """
     v = np.atleast_2d(np.asarray(vectors, dtype=float))
-    rho, ct, phi = _spherical_coords(v)
-    P = _legendre_table(ct, p)
+    rho, ct, st, phi = _spherical_coords(v)
+    P = _legendre_table(ct, p, st)
     ns, ms, _ = _nm_index(p)
     r_sc, i_sc, mirror = _norm_factors(p)
     npts = v.shape[0]

@@ -24,9 +24,10 @@ import numpy as np
 
 from repro.expansions.cartesian import CartesianExpansion
 from repro.fmm.multipass import laplace_far_field
+from repro.fmm.nearfield import evaluate_near_field
 from repro.kernels.base import Kernel
-from repro.kernels.direct import p2p_pair, p2p_self
-from repro.tree.lists import InteractionLists, build_interaction_lists
+from repro.tree.cache import ListCache
+from repro.tree.lists import InteractionLists
 from repro.tree.octree import AdaptiveOctree
 
 __all__ = ["FMMSolver", "FMMResult"]
@@ -55,11 +56,16 @@ class FMMSolver:
         order: int = 4,
         expansion=None,
         folded: bool = True,
+        list_cache: ListCache | None = None,
     ) -> None:
         self.kernel = kernel
         self.expansion = expansion if expansion is not None else CartesianExpansion(order)
         self.order = self.expansion.order
         self.folded = folded
+        #: interaction lists are memoized per tree shape, so repeated solves
+        #: on a frozen-shape tree (the time-stepping loop) skip list builds;
+        #: pass a shared cache to pool entries with an executor/balancer
+        self.list_cache = list_cache if list_cache is not None else ListCache()
 
     # ----------------------------------------------------------------- solve
     def solve(
@@ -88,7 +94,7 @@ class FMMSolver:
                 "use CompositeStokesletSolver or direct evaluation"
             )
         if lists is None:
-            lists = build_interaction_lists(tree, folded=self.folded)
+            lists = self.list_cache.get(tree, folded=self.folded)
         q = np.asarray(strengths, dtype=float).reshape(-1)
         if q.shape[0] != tree.n_bodies:
             raise ValueError("strengths must have one entry per body")
@@ -126,33 +132,11 @@ class FMMSolver:
 
     # ------------------------------------------------------------ near field
     def _near_field(self, tree, lists, q, want_gradient, want_potential=True):
-        kernel = self.kernel
-        pts = tree.points
-        dim = kernel.value_dim
-        pot = None
-        if want_potential:
-            pot = np.zeros(tree.n_bodies) if dim == 1 else np.zeros((tree.n_bodies, dim))
-        grad = np.zeros((tree.n_bodies, 3)) if want_gradient else None
-        for t, sources in lists.near_sources.items():
-            t_idx = tree.bodies(t)
-            if t_idx.size == 0:
-                continue
-            tgt = pts[t_idx]
-            # gather all non-self sources into one dense block
-            other = [s for s in sources if s != t]
-            if other:
-                s_idx = np.concatenate([tree.bodies(s) for s in other])
-                src = pts[s_idx]
-                qs = q[s_idx]
-                if want_potential:
-                    block = p2p_pair(kernel, tgt, src, qs)
-                    pot[t_idx] += block[:, 0] if dim == 1 else block
-                if want_gradient:
-                    grad[t_idx] += kernel.gradient(tgt, src, qs)
-            if t in sources:
-                if want_potential:
-                    block = p2p_self(kernel, tgt, q[t_idx])
-                    pot[t_idx] += block[:, 0] if dim == 1 else block
-                if want_gradient:
-                    grad[t_idx] += kernel.gradient(tgt, tgt, q[t_idx], exclude_self=True)
-        return pot, grad
+        return evaluate_near_field(
+            self.kernel,
+            tree,
+            lists,
+            q,
+            potential=want_potential,
+            gradient=want_gradient,
+        )

@@ -1,0 +1,176 @@
+"""Batched near-field (P2P) evaluation.
+
+The naive near field walks target leaves one at a time, and for each leaf
+re-derives its body indices (one ``tree.bodies`` call per source node per
+leaf) before issuing one small kernel call per leaf — roughly ``O(near
+pairs)`` Python interpreter work on top of the kernel arithmetic.  This
+module flattens ``near_sources`` once into CSR-style target/source *body*
+index arrays, groups target leaves that share an identical source-leaf
+set (their targets stack into a single dense block against the shared
+source block), and evaluates one large kernel call per distinct source
+set.  Bodies whose own leaf appears in its source set get one bulk
+``self_interaction`` subtraction at the end — every kernel in the repo
+evaluates its own self pair to exactly that value (singular kernels
+suppress it to zero), so including the self block in the dense call and
+subtracting keeps results within float round-off of the per-leaf path.
+
+The plan (index arrays + group offsets) is memoized on the
+:class:`~repro.tree.lists.InteractionLists` via ``derived_cache``, stamped
+by the tree's ``generation``: a frozen-shape *and* frozen-body step reuses
+it outright, while ``refit`` (which reorders bodies) rebuilds only the
+plan, not the lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kernels.base import Kernel
+from repro.tree.lists import InteractionLists
+from repro.tree.octree import AdaptiveOctree
+
+__all__ = ["NearFieldPlan", "build_near_field_plan", "evaluate_near_field"]
+
+
+def _gather_segments(order: np.ndarray, lo: np.ndarray, hi: np.ndarray):
+    """Concatenate ``order[lo[k]:hi[k]]`` segments; returns (values, counts)."""
+    cnt = hi - lo
+    total = int(cnt.sum())
+    if total == 0:
+        return np.empty(0, dtype=order.dtype), cnt
+    ends = np.cumsum(cnt)
+    within = np.arange(total, dtype=np.int64) - np.repeat(ends - cnt, cnt)
+    return order[np.repeat(lo, cnt) + within], cnt
+
+
+@dataclass
+class NearFieldPlan:
+    """Flattened near-field work: one entry per distinct source set.
+
+    ``tgt_idx``/``src_idx`` hold body indices back to back per group;
+    ``tgt_ptr``/``src_ptr`` are the CSR offsets.  ``self_idx`` lists every
+    body whose own leaf is included in its source set (the bulk
+    self-interaction correction).
+    """
+
+    tgt_idx: np.ndarray
+    tgt_ptr: np.ndarray
+    src_idx: np.ndarray
+    src_ptr: np.ndarray
+    self_idx: np.ndarray
+    n_groups: int
+    #: total body-pair interactions the plan evaluates (throughput metric)
+    total_pairs: int
+
+
+def build_near_field_plan(tree: AdaptiveOctree, lists: InteractionLists) -> NearFieldPlan:
+    """Build (or fetch the memoized) near-field plan for ``lists``."""
+    cached, store = lists.derived_cache("near_field_plan")
+    if cached is not None:
+        return cached
+
+    nodes = tree.nodes
+    order = tree.order
+    node_lo = np.fromiter((n.lo for n in nodes), dtype=np.int64, count=len(nodes))
+    node_hi = np.fromiter((n.hi for n in nodes), dtype=np.int64, count=len(nodes))
+
+    # group target leaves by their exact source-leaf set
+    groups: dict[tuple, list[int]] = {}
+    self_leaves: list[int] = []
+    for t, sources in lists.near_sources.items():
+        groups.setdefault(tuple(sorted(sources)), []).append(t)
+        if t in sources:
+            self_leaves.append(t)
+
+    sig_arrs = [np.fromiter(sig, dtype=np.int64, count=len(sig)) for sig in groups]
+    tgt_arrs = [np.fromiter(ts, dtype=np.int64, count=len(ts)) for ts in groups.values()]
+    empty = np.empty(0, dtype=np.int64)
+    sig_flat = np.concatenate(sig_arrs) if sig_arrs else empty
+    tgt_flat = np.concatenate(tgt_arrs) if tgt_arrs else empty
+    sig_cnt = np.fromiter((a.size for a in sig_arrs), dtype=np.int64, count=len(sig_arrs))
+    tgt_cnt = np.fromiter((a.size for a in tgt_arrs), dtype=np.int64, count=len(tgt_arrs))
+
+    src_idx, src_body_cnt = _gather_segments(order, node_lo[sig_flat], node_hi[sig_flat])
+    tgt_idx, tgt_body_cnt = _gather_segments(order, node_lo[tgt_flat], node_hi[tgt_flat])
+    # per-group body counts: sum the per-leaf counts within each group
+    gid_src = np.repeat(np.arange(len(sig_arrs)), sig_cnt)
+    gid_tgt = np.repeat(np.arange(len(tgt_arrs)), tgt_cnt)
+    src_per_group = np.bincount(gid_src, weights=src_body_cnt, minlength=len(sig_arrs)).astype(np.int64)
+    tgt_per_group = np.bincount(gid_tgt, weights=tgt_body_cnt, minlength=len(tgt_arrs)).astype(np.int64)
+    src_ptr = np.concatenate(([0], np.cumsum(src_per_group))).astype(np.int64)
+    tgt_ptr = np.concatenate(([0], np.cumsum(tgt_per_group))).astype(np.int64)
+
+    sl = np.fromiter(self_leaves, dtype=np.int64, count=len(self_leaves))
+    self_idx, _ = _gather_segments(order, node_lo[sl], node_hi[sl])
+
+    plan = NearFieldPlan(
+        tgt_idx=tgt_idx,
+        tgt_ptr=tgt_ptr,
+        src_idx=src_idx,
+        src_ptr=src_ptr,
+        self_idx=self_idx,
+        n_groups=len(sig_arrs),
+        total_pairs=int((tgt_per_group * src_per_group).sum()),
+    )
+    return store(plan)
+
+
+def evaluate_near_field(
+    kernel: Kernel,
+    tree: AdaptiveOctree,
+    lists: InteractionLists,
+    strengths: np.ndarray,
+    *,
+    potential: bool = True,
+    gradient: bool = False,
+):
+    """Evaluate the P2P phase in one large kernel call per source group.
+
+    Returns ``(pot, grad)`` with the same shapes and semantics as the
+    per-leaf near-field loop: ``pot`` is ``(n,)`` for scalar kernels and
+    ``(n, value_dim)`` for vector kernels, ``grad`` is ``(n, 3)``; entries
+    for bodies outside any near pair stay zero.
+    """
+    plan = build_near_field_plan(tree, lists)
+    pts = tree.points
+    q = np.asarray(strengths, dtype=float)
+    n = tree.n_bodies
+    dim = kernel.value_dim
+    pot = None
+    if potential:
+        pot = np.zeros(n) if dim == 1 else np.zeros((n, dim))
+    grad = np.zeros((n, 3)) if gradient else None
+
+    tp, sp = plan.tgt_ptr, plan.src_ptr
+    for g in range(plan.n_groups):
+        t_idx = plan.tgt_idx[tp[g] : tp[g + 1]]
+        s_idx = plan.src_idx[sp[g] : sp[g + 1]]
+        if t_idx.size == 0 or s_idx.size == 0:
+            continue
+        tgt = pts[t_idx]
+        src = pts[s_idx]
+        qs = q[s_idx]
+        if potential:
+            block = kernel.evaluate(tgt, src, qs, exclude_self=False)
+            if dim == 1:
+                pot[t_idx] += block[:, 0]
+            else:
+                pot[t_idx] += block
+        if gradient:
+            grad[t_idx] += kernel.gradient(tgt, src, qs, exclude_self=False)
+
+    # bodies whose own leaf was in the source block saw their self pair;
+    # subtract it in one bulk call (zero for singular kernels)
+    si = plan.self_idx
+    if si.size:
+        if potential:
+            corr = kernel.self_interaction(pts[si], q[si], gradient=False)
+            if dim == 1:
+                pot[si] -= corr[:, 0]
+            else:
+                pot[si] -= corr
+        if gradient:
+            grad[si] -= kernel.self_interaction(pts[si], q[si], gradient=True)
+    return pot, grad

@@ -37,7 +37,15 @@ class NearFieldWorkItem:
 
 
 def near_field_work_items(lists: InteractionLists) -> list[NearFieldWorkItem]:
-    """One work item per target leaf, in tree (Morton) order."""
+    """One work item per target leaf, in tree (Morton) order.
+
+    Memoized on ``lists`` against the tree's ``generation``: per-node
+    populations change under refit even when the lists stay valid, so the
+    items carry the finer-grained stamp and rebuild only when bodies moved.
+    """
+    cached, store = lists.derived_cache("near_field_work_items")
+    if cached is not None:
+        return cached
     tree = lists.tree
     items = []
     for t in sorted(lists.near_sources, key=lambda nid: tree.nodes[nid].lo):
@@ -46,7 +54,7 @@ def near_field_work_items(lists: InteractionLists) -> list[NearFieldWorkItem]:
             continue
         counts = tuple(tree.nodes[s].count for s in lists.near_sources[t] if tree.nodes[s].count)
         items.append(NearFieldWorkItem(target=t, n_targets=nt, source_counts=counts))
-    return items
+    return store(items)
 
 
 def partition_targets(items: list[NearFieldWorkItem], n_gpus: int) -> list[list[NearFieldWorkItem]]:

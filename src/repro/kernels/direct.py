@@ -32,10 +32,15 @@ def direct_evaluate(
 
     ``exclude_self`` assumes targets and sources are the *same* array (in
     the same order) and removes each body's self contribution.
+
+    Output shape is ``(n_targets, 3)`` when ``gradient`` is requested —
+    every kernel's ``gradient`` returns one spatial vector per target,
+    regardless of its ``value_dim`` — and ``(n_targets, value_dim)``
+    otherwise.
     """
     t = np.atleast_2d(np.asarray(targets, dtype=float))
     nt = t.shape[0]
-    dim = 3 if (gradient or kernel.value_dim == 3) else kernel.value_dim
+    dim = 3 if gradient else kernel.value_dim
     out = np.zeros((nt, dim))
     fn = kernel.gradient if gradient else kernel.evaluate
     for lo in range(0, nt, chunk):

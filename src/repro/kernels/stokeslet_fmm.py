@@ -28,8 +28,10 @@ import numpy as np
 
 from repro.expansions.cartesian import CartesianExpansion
 from repro.fmm.multipass import laplace_far_field
+from repro.fmm.nearfield import evaluate_near_field
 from repro.kernels.stokeslet import RegularizedStokesletKernel
-from repro.tree.lists import InteractionLists, build_interaction_lists
+from repro.tree.cache import ListCache
+from repro.tree.lists import InteractionLists
 from repro.tree.octree import AdaptiveOctree
 
 __all__ = ["StokesletFMMResult", "StokesletFMMSolver"]
@@ -60,10 +62,12 @@ class StokesletFMMSolver:
         order: int = 4,
         expansion=None,
         folded: bool = True,
+        list_cache: ListCache | None = None,
     ) -> None:
         self.kernel = kernel if kernel is not None else RegularizedStokesletKernel()
         self.expansion = expansion if expansion is not None else CartesianExpansion(order)
         self.folded = folded
+        self.list_cache = list_cache if list_cache is not None else ListCache()
 
     def solve(
         self,
@@ -76,7 +80,7 @@ class StokesletFMMSolver:
         if f.shape != (tree.n_bodies, 3):
             raise ValueError(f"forces must be (n, 3), got {f.shape}")
         if lists is None:
-            lists = build_interaction_lists(tree, folded=self.folded)
+            lists = self.list_cache.get(tree, folded=self.folded)
         pts = tree.points
         scale = 1.0 / (8.0 * np.pi * self.kernel.viscosity)
 
@@ -104,18 +108,7 @@ class StokesletFMMSolver:
         return StokesletFMMResult(velocity=u, op_counts=counts, lists=lists)
 
     def _near_field(self, tree, lists, f) -> np.ndarray:
-        kernel = self.kernel
-        pts = tree.points
-        out = np.zeros((tree.n_bodies, 3))
-        for t, sources in lists.near_sources.items():
-            t_idx = tree.bodies(t)
-            if t_idx.size == 0:
-                continue
-            tgt = pts[t_idx]
-            other = [s for s in sources if s != t]
-            if other:
-                s_idx = np.concatenate([tree.bodies(s) for s in other])
-                out[t_idx] += kernel.evaluate(tgt, pts[s_idx], f[s_idx])
-            if t in sources:
-                out[t_idx] += kernel.evaluate(tgt, tgt, f[t_idx], exclude_self=True)
+        out, _ = evaluate_near_field(
+            self.kernel, tree, lists, f, potential=True, gradient=False
+        )
         return out

@@ -35,7 +35,8 @@ from repro.kernels.base import Kernel
 from repro.machine.spec import MachineSpec
 from repro.runtime.scheduler import simulate_schedule
 from repro.runtime.tasks import build_fmm_task_graph, build_treebuild_task_graph
-from repro.tree.lists import InteractionLists, build_interaction_lists
+from repro.tree.cache import ListCache
+from repro.tree.lists import InteractionLists
 from repro.tree.octree import AdaptiveOctree
 from repro.util.rng import default_rng
 from repro.util.timing import TimerRegistry
@@ -80,6 +81,7 @@ class HeterogeneousExecutor:
         folded: bool = True,
         seed: int | None = 0,
         offload_endpoints: bool = False,
+        list_cache: ListCache | None = None,
     ) -> None:
         """``offload_endpoints`` enables the §VIII-E extension: P2M and L2P
         move to the GPUs ("The way forward in such an unbalanced situation
@@ -91,6 +93,9 @@ class HeterogeneousExecutor:
         self.folded = folded
         self.offload_endpoints = offload_endpoints
         self.units = atomic_units(order, kernel)
+        #: shared with the balance controller so observation steps and
+        #: candidate evaluations on a frozen-shape tree reuse one build
+        self.list_cache = list_cache if list_cache is not None else ListCache()
         self._rng = default_rng(seed)
         self._gpu_models = [GPUKernelModel(g) for g in machine.gpus]
         if offload_endpoints and machine.n_gpus == 0:
@@ -100,7 +105,7 @@ class HeterogeneousExecutor:
     def time_step(self, tree: AdaptiveOctree, lists: InteractionLists | None = None) -> StepTiming:
         """Model the compute time of one FMM solve on the current tree."""
         if lists is None:
-            lists = build_interaction_lists(tree, folded=self.folded)
+            lists = self.list_cache.get(tree, folded=self.folded)
         counts = lists.op_counts()
         flops = self._op_flops(tree, lists, counts)
 

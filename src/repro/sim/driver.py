@@ -30,7 +30,7 @@ from repro.kernels.direct import direct_evaluate
 from repro.machine.executor import HeterogeneousExecutor
 from repro.machine.spec import MachineSpec
 from repro.sim.integrators import LeapfrogIntegrator, reflect_into_box
-from repro.tree.lists import build_interaction_lists
+from repro.tree.cache import ListCache
 from repro.tree.octree import AdaptiveOctree
 from repro.util.records import EventLog
 
@@ -96,12 +96,16 @@ class Simulation:
         if not bool(domain.contains(particles.positions).all()):
             raise ValueError("initial positions must lie inside the domain")
 
+        # one cache shared by the executor, solver, and the step loop: a
+        # frozen-shape step (refit only) reuses its lists everywhere
+        self.list_cache = ListCache()
         self.executor = HeterogeneousExecutor(
             machine,
             order=self.config.order,
             kernel=kernel,
             folded=self.config.folded,
             seed=self.config.seed,
+            list_cache=self.list_cache,
         )
         self.balancer = DynamicLoadBalancer(
             self.executor,
@@ -110,7 +114,12 @@ class Simulation:
             mode=self.config.strategy,
         )
         self.solver = (
-            FMMSolver(kernel, order=self.config.order, folded=self.config.folded)
+            FMMSolver(
+                kernel,
+                order=self.config.order,
+                folded=self.config.folded,
+                list_cache=self.list_cache,
+            )
             if self.config.forces == "fmm"
             else None
         )
@@ -155,7 +164,7 @@ class Simulation:
         cfg = self.config
         lb_time = self._ensure_tree()
         tree = self.tree
-        lists = build_interaction_lists(tree, folded=cfg.folded)
+        lists = self.list_cache.get(tree, folded=cfg.folded)
 
         timing = self.executor.time_step(tree, lists)
 
@@ -172,8 +181,9 @@ class Simulation:
         # new accelerations on the moved bodies (same tree topology; ranges refit)
         tree.points = self.particles.positions
         tree.refit()
+        # refit kept the shape, so this lookup is a cache hit, not a rebuild
         lists_after = (
-            build_interaction_lists(tree, folded=cfg.folded) if self.solver else None
+            self.list_cache.get(tree, folded=cfg.folded) if self.solver else None
         )
         acc_new = self._accelerations(tree, lists_after)
         self.integrator.finish_step(self.particles.velocities, acc_new)

@@ -8,7 +8,12 @@ Collapse / PushDown operations (§IV) and the Enforce_S sweep (§VI-A).
 
 from repro.tree.octree import AdaptiveOctree, OctreeNode, build_adaptive
 from repro.tree.uniform import build_uniform, uniform_depth_for
-from repro.tree.lists import InteractionLists, build_interaction_lists
+from repro.tree.lists import (
+    InteractionLists,
+    build_interaction_lists,
+    build_interaction_lists_scalar,
+)
+from repro.tree.cache import ListCache
 
 __all__ = [
     "AdaptiveOctree",
@@ -17,5 +22,7 @@ __all__ = [
     "build_uniform",
     "uniform_depth_for",
     "InteractionLists",
+    "ListCache",
     "build_interaction_lists",
+    "build_interaction_lists_scalar",
 ]

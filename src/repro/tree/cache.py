@@ -1,0 +1,83 @@
+"""Generation-stamped memoization of interaction lists.
+
+The balancer's outer loop (and any frozen-shape simulation step) calls
+``build_interaction_lists`` on a tree whose *shape* has not changed since
+the last step — ``refit`` re-sorts bodies but leaves the effective tree
+intact.  :class:`ListCache` memoizes one :class:`InteractionLists` per
+``(tree, folded)`` pair and validates it against the tree's
+``structure_generation`` stamp, so a frozen-shape step never rebuilds
+lists while any surgery (``collapse``/``pushdown``/``enforce_s``/
+``mark_structure_dirty``) invalidates the entry on its next lookup.
+
+``hits``/``builds`` counters make the no-rebuild guarantee observable:
+a frozen-shape step must increment ``hits`` only.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+from repro.tree.lists import InteractionLists, build_interaction_lists
+from repro.tree.octree import AdaptiveOctree
+
+__all__ = ["ListCache"]
+
+
+class ListCache:
+    """Memoize interaction lists keyed by tree identity + ``folded`` flag.
+
+    The cache itself holds only *weak* references.  The lists are parked on
+    the tree (``tree._cached_lists``), which makes the strong chain
+    ``caller -> tree -> lists -> tree`` a self-contained cycle: when the
+    caller drops the tree, the garbage collector reclaims tree and lists
+    together, the weakref callback evicts the entry, and a cache that
+    outlives many tree rebuilds (the simulation driver's does) never pins
+    dead trees in memory.  An ``id()`` reused by a new tree can never alias
+    a stale entry — the weakref's referent check catches it.
+    """
+
+    def __init__(self, builder=build_interaction_lists) -> None:
+        self._builder = builder
+        #: (id(tree), folded) -> (weakref-to-tree, structure_generation stamp)
+        self._entries: dict = {}
+        #: lookups answered from cache (tree shape unchanged)
+        self.hits = 0
+        #: lookups that (re)built lists
+        self.builds = 0
+
+    def get(self, tree: AdaptiveOctree, *, folded: bool = True) -> InteractionLists:
+        """Return valid lists for ``tree``, rebuilding only on shape change."""
+        key = (id(tree), bool(folded))
+        entry = self._entries.get(key)
+        if entry is not None:
+            ref, stamp = entry
+            if ref() is tree and stamp == tree.structure_generation:
+                lists = getattr(tree, "_cached_lists", {}).get(bool(folded))
+                if lists is not None:
+                    self.hits += 1
+                    return lists
+        lists = self._builder(tree, folded=folded)
+        self.builds += 1
+        if not hasattr(tree, "_cached_lists"):
+            tree._cached_lists = {}
+        tree._cached_lists[bool(folded)] = lists
+        self._entries[key] = (
+            weakref.ref(tree, lambda _ref, k=key: self._entries.pop(k, None)),
+            tree.structure_generation,
+        )
+        return lists
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept; see :meth:`reset_counters`)."""
+        for ref, _stamp in self._entries.values():
+            tree = ref()
+            if tree is not None and hasattr(tree, "_cached_lists"):
+                tree._cached_lists.clear()
+        self._entries.clear()
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.builds = 0

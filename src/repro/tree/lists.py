@@ -20,6 +20,15 @@ field pure M2L — at the cost of extra direct interactions.
 
 Adjacency is decided in exact integer (Morton grid) arithmetic, so lists
 are immune to floating-point drift from repeated box halving.
+
+Construction is fully vectorized: per-node integer AABBs live in one
+``(n_eff, 6)`` int64 array and every traversal (colleague/V split per
+level, the U descent from the root, the W descent from colleagues) runs as
+a *batched frontier* — all candidate pairs of a round are classified with
+one broadcast overlap test instead of a Python predicate per pair.  The
+original per-pair implementation is kept as
+:func:`build_interaction_lists_scalar` as the equivalence oracle for tests
+and the baseline for the hot-path benchmarks.
 """
 
 from __future__ import annotations
@@ -31,7 +40,11 @@ import numpy as np
 from repro.geometry.morton import MAX_MORTON_LEVEL, decode_morton
 from repro.tree.octree import AdaptiveOctree
 
-__all__ = ["InteractionLists", "build_interaction_lists"]
+__all__ = [
+    "InteractionLists",
+    "build_interaction_lists",
+    "build_interaction_lists_scalar",
+]
 
 
 @dataclass
@@ -48,6 +61,11 @@ class InteractionLists:
     x_list: dict[int, list[int]] = field(default_factory=dict)
     #: folded mode: per-target-leaf near-field source leaves (includes self)
     near_sources: dict[int, list[int]] = field(default_factory=dict)
+    #: derived data memoized against the tree's ``generation`` stamp
+    #: (op counts, near-field work items / evaluation plans); body counts
+    #: change under refit while the lists themselves stay valid, so derived
+    #: quantities carry their own finer-grained stamp.
+    _derived: dict = field(default_factory=dict, repr=False, compare=False)
 
     # ------------------------------------------------------------- counting
     def interactions_of_leaf(self, t: int) -> int:
@@ -59,6 +77,23 @@ class InteractionLists:
     def total_near_interactions(self) -> int:
         return sum(self.interactions_of_leaf(t) for t in self.near_sources)
 
+    def derived_cache(self, kind: str):
+        """Fetch a derived-data cache slot, invalidated by tree mutation.
+
+        Returns ``(value, store)`` where ``value`` is the cached entry for
+        ``kind`` if it was computed at the tree's current ``generation``
+        (else ``None``) and ``store(v)`` memoizes a fresh value.
+        """
+        gen = getattr(self.tree, "generation", None)
+        entry = self._derived.get(kind)
+        value = entry[1] if (entry is not None and entry[0] == gen) else None
+
+        def store(v):
+            self._derived[kind] = (gen, v)
+            return v
+
+        return value, store
+
     def op_counts(self, n_coeffs: int | None = None) -> dict[str, int]:
         """Number of applications of each FMM operation for this tree.
 
@@ -69,7 +104,14 @@ class InteractionLists:
         in a leaf node"): per *body* for P2M/L2P, per parent<->child shift
         for M2M/L2L, per node pair for M2L, per body-pair for P2P, per
         (node, body) product for M2P/P2L.
+
+        The result is memoized against the tree's ``generation`` (counts
+        depend on per-node populations, which refit changes); a copy is
+        returned so callers may mutate it freely.
         """
+        cached, store = self.derived_cache("op_counts")
+        if cached is not None:
+            return dict(cached)
         tree = self.tree
         internal = [n for n in tree.effective_nodes() if not tree.nodes[n].is_leaf]
         n_bodies_in_leaves = sum(tree.nodes[l].count for l in tree.leaves())
@@ -89,11 +131,337 @@ class InteractionLists:
                 sum(tree.nodes[x].count for x in xs) for _, xs in self.x_list.items()
             ),
         }
-        return counts
+        return dict(store(counts))
+
+
+# --------------------------------------------------------------------------
+# vectorized construction
+# --------------------------------------------------------------------------
+
+
+def _csr_expand(ptr: np.ndarray, arr: np.ndarray, rows: np.ndarray):
+    """Concatenate CSR segments ``arr[ptr[r]:ptr[r+1]]`` for each row.
+
+    Returns ``(values, counts)`` with ``counts[k] = len(segment of rows[k])``
+    and ``values`` the segments back to back, in order — the vectorized
+    equivalent of ``concat(arr[ptr[r]:ptr[r+1]] for r in rows)``.
+    """
+    cnt = ptr[rows + 1] - ptr[rows]
+    total = int(cnt.sum())
+    if total == 0:
+        return np.empty(0, dtype=arr.dtype), cnt
+    ends = np.cumsum(cnt)
+    within = np.arange(total, dtype=np.int64) - np.repeat(ends - cnt, cnt)
+    return arr[np.repeat(ptr[rows], cnt) + within], cnt
+
+
+def _adjacency_columns(bounds: np.ndarray):
+    """Precompute the doubled-center / width columns for the touch test.
+
+    Two integer AABBs touch iff ``|c2_a - c2_b| <= w_a + w_b`` per axis,
+    where ``c2 = lo + hi`` (twice the center) and ``w = hi - lo``.  Grid
+    coordinates fit in 21 bits, so int32 holds every intermediate; the
+    narrower dtype halves the gather bandwidth of the hot test.
+    """
+    c2 = (bounds[:, :3] + bounds[:, 3:]).astype(np.int32)
+    w = (bounds[:, 3:] - bounds[:, :3]).astype(np.int32)
+    return tuple(np.ascontiguousarray(c2[:, k]) for k in range(3)) + tuple(
+        np.ascontiguousarray(w[:, k]) for k in range(3)
+    )
+
+
+def _adjacent_rows(cols, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Batched AABB-touch test between row sets ``a`` and ``b``.
+
+    Bounds are integer cell extents on the finest Morton grid with the
+    upper bound exclusive; two cells touch iff ``a.hi >= b.lo`` and
+    ``b.hi >= a.lo`` on every axis — equivalently ``|c2_a - c2_b| <=
+    w_a + w_b`` in the precomputed columns (same predicate as the scalar
+    path, in exact integer arithmetic).
+    """
+    cx, cy, cz, wx, wy, wz = cols
+    out = np.abs(cx[a] - cx[b]) <= wx[a] + wx[b]
+    out &= np.abs(cy[a] - cy[b]) <= wy[a] + wy[b]
+    out &= np.abs(cz[a] - cz[b]) <= wz[a] + wz[b]
+    return out
+
+
+def _integer_bounds(tree: AdaptiveOctree, eff: list[int]) -> np.ndarray:
+    """Exact integer cell bounds, one ``(x0,y0,z0,x1,y1,z1)`` row per node."""
+    keys = np.array([tree.nodes[n].key_lo for n in eff], dtype=np.uint64)
+    levels = np.array([tree.nodes[n].level for n in eff], dtype=np.int64)
+    ix, iy, iz = decode_morton(keys)
+    width = np.int64(1) << (MAX_MORTON_LEVEL - levels)
+    out = np.empty((len(eff), 6), dtype=np.int64)
+    out[:, 0] = ix.astype(np.int64)
+    out[:, 1] = iy.astype(np.int64)
+    out[:, 2] = iz.astype(np.int64)
+    out[:, 3] = out[:, 0] + width
+    out[:, 4] = out[:, 1] + width
+    out[:, 5] = out[:, 2] + width
+    return out
+
+
+def _group_pairs(
+    owner_rows: np.ndarray,
+    value_rows: np.ndarray,
+    key_rows: np.ndarray,
+    eff_arr: np.ndarray,
+) -> dict[int, list[int]]:
+    """Split (owner, value) row pairs into per-owner node-id lists.
+
+    ``key_rows`` fixes both the set of owners (empty owners get ``[]``) and
+    the dict insertion order; pair order within an owner is preserved.  The
+    row->id mapping and list materialization happen in two bulk operations
+    (one fancy gather + one ``tolist``), so the cost is O(pairs) C-speed
+    work plus one cheap pointer-copy slice per owner.
+    """
+    keys = eff_arr[key_rows].tolist()
+    if not owner_rows.size:
+        return {k: [] for k in keys}
+    order = np.argsort(owner_rows, kind="stable")
+    sorted_owners = owner_rows[order]
+    values = eff_arr[value_rows[order]].tolist()
+    starts = np.searchsorted(sorted_owners, key_rows, side="left").tolist()
+    stops = np.searchsorted(sorted_owners, key_rows, side="right").tolist()
+    return {k: values[lo:hi] for k, lo, hi in zip(keys, starts, stops)}
+
+
+def _slices_to_dict(
+    owner_rows: np.ndarray,
+    value_rows: np.ndarray,
+    counts: np.ndarray,
+    eff_arr: np.ndarray,
+) -> dict[int, list[int]]:
+    """Turn already-grouped (owner, CSR values) rows into node-id lists.
+
+    ``value_rows`` holds each owner's entries back to back, ``counts`` the
+    per-owner segment lengths; materialization is one bulk gather +
+    ``tolist`` and a pointer-copy slice per owner.
+    """
+    keys = eff_arr[owner_rows].tolist()
+    values = eff_arr[value_rows].tolist() if value_rows.size else []
+    offs = np.concatenate(([0], np.cumsum(counts))).tolist()
+    return {k: values[lo:hi] for k, lo, hi in zip(keys, offs[:-1], offs[1:])}
 
 
 def build_interaction_lists(tree: AdaptiveOctree, *, folded: bool = True) -> InteractionLists:
-    """Construct all lists for the current effective tree."""
+    """Construct all lists for the current effective tree (vectorized)."""
+    il = InteractionLists(tree=tree, folded=folded)
+    eff = tree.effective_nodes()
+    n = len(eff)
+    eff_arr = np.fromiter(eff, dtype=np.int64, count=n)
+    row_of = {nid: i for i, nid in enumerate(eff)}
+    bounds = _integer_bounds(tree, eff)
+    cols = _adjacency_columns(bounds)
+
+    level = np.empty(n, dtype=np.int64)
+    is_leaf = np.empty(n, dtype=bool)
+    parent_row = np.full(n, -1, dtype=np.int64)
+    nodes = tree.nodes
+    for i, nid in enumerate(eff):
+        node = nodes[nid]
+        level[i] = node.level
+        is_leaf[i] = node.is_leaf
+        if node.parent >= 0:
+            parent_row[i] = row_of[node.parent]
+    # effective-child CSR without per-node Python calls: ``eff`` is a
+    # preorder of the effective tree, so a stable sort of non-root rows by
+    # parent row groups each node's effective children in octant order —
+    # identical to ``tree.effective_children``'s ordering.
+    nz = np.nonzero(parent_row >= 0)[0]
+    child_arr = nz[np.argsort(parent_row[nz], kind="stable")]
+    cnt_children = np.bincount(parent_row[nz], minlength=n)
+    child_ptr = np.concatenate(([0], np.cumsum(cnt_children))).astype(np.int64)
+
+    # ---------------------------------------------------- colleagues and V
+    # Level-synchronous sweep: all children of one parent share a candidate
+    # batch (children of the parent's colleagues), so each level is one
+    # flattened cross product + one broadcast adjacency test.  Colleague/V
+    # results live in one contiguous CSR per level, indexed by each row's
+    # position within its level (a node's parent is always one level up,
+    # so a parent's colleague pool is a CSR segment of the previous level).
+    root_row = row_of[0]
+    max_level = int(level.max(initial=0))
+    lev_rows = [np.array([root_row], dtype=np.int64)]
+    lev_coll_vals = [np.array([root_row], dtype=np.int64)]
+    lev_coll_ptr = [np.array([0, 1], dtype=np.int64)]
+    lev_v_vals = [np.empty(0, dtype=np.int64)]
+    lev_v_ptr = [np.array([0, 0], dtype=np.int64)]
+    pos_in_level = np.zeros(n, dtype=np.int64)
+    for lvl in range(1, max_level + 1):
+        parents = np.unique(parent_row[np.nonzero(level == lvl)[0]])
+        # candidate pool per parent: children of the parent's colleagues
+        pc, pc_cnt = _csr_expand(
+            lev_coll_ptr[lvl - 1], lev_coll_vals[lvl - 1], pos_in_level[parents]
+        )
+        cand_pool, cand_cnt = _csr_expand(child_ptr, child_arr, pc)
+        pool_len = np.zeros(len(parents), dtype=np.int64)
+        if pc.size:
+            np.add.at(pool_len, np.repeat(np.arange(len(parents)), pc_cnt), cand_cnt)
+        # cross product: every child of parent p against p's whole pool
+        children, k_p = _csr_expand(child_ptr, child_arr, parents)
+        pos_in_level[children] = np.arange(children.size, dtype=np.int64)
+        m_c = np.repeat(pool_len, k_p)  # pool size per child
+        owners = np.repeat(children, m_c)
+        pool_start = np.cumsum(pool_len) - pool_len
+        seg_start = np.repeat(np.repeat(pool_start, k_p), m_c)
+        ends = np.cumsum(m_c)
+        within = np.arange(int(m_c.sum()), dtype=np.int64) - np.repeat(ends - m_c, m_c)
+        cands = cand_pool[seg_start + within]
+        adj = _adjacent_rows(cols, cands, owners)
+        # owners run in contiguous segments, so the filtered candidates
+        # stay segment-grouped: the level CSR is two masked gathers
+        seg_id = np.repeat(np.arange(children.size), m_c)
+        lev_rows.append(children)
+        lev_coll_vals.append(cands[adj])
+        lev_coll_ptr.append(
+            np.concatenate(([0], np.cumsum(np.bincount(seg_id[adj], minlength=children.size)))).astype(np.int64)
+        )
+        lev_v_vals.append(cands[~adj])
+        lev_v_ptr.append(
+            np.concatenate(([0], np.cumsum(np.bincount(seg_id[~adj], minlength=children.size)))).astype(np.int64)
+        )
+    # map colleague/V rows back to node-id dicts (level-major key order)
+    # with one bulk gather+tolist per list family
+    owners_all = np.concatenate(lev_rows)
+    il.colleagues = _slices_to_dict(
+        owners_all,
+        np.concatenate(lev_coll_vals),
+        np.concatenate([np.diff(p) for p in lev_coll_ptr]),
+        eff_arr,
+    )
+    il.v_list = _slices_to_dict(
+        owners_all,
+        np.concatenate(lev_v_vals),
+        np.concatenate([np.diff(p) for p in lev_v_ptr]),
+        eff_arr,
+    )
+
+    leaf_rows = np.nonzero(is_leaf)[0]
+
+    # ------------------------------------------------------ U and W lists
+    # One shared frontier serves both lists.  An adjacent leaf l of leaf b
+    # is either a *leaf colleague* of b (same level, already classified —
+    # no extra test needed), or the pair (b, l) shows up exactly once in
+    # the descent below the deeper side's colleagues.  So we seed a
+    # frontier with the children of each leaf's *internal* colleagues and
+    # classify each candidate once: non-adjacent -> W(b), adjacent leaf ->
+    # deeper U partner (recorded in both directions), adjacent internal ->
+    # descend.  This halves the adjacency tests of the classical
+    # per-leaf root descent: every unordered U pair is tested once.
+    u_own: list[np.ndarray] = []
+    u_val: list[np.ndarray] = []
+    sc_parts: list[np.ndarray] = []
+    sc_own_parts: list[np.ndarray] = []
+    for lvl in range(max_level + 1):
+        lrows = lev_rows[lvl][is_leaf[lev_rows[lvl]]]
+        if not lrows.size:
+            continue
+        cvals, ccnt = _csr_expand(lev_coll_ptr[lvl], lev_coll_vals[lvl], pos_in_level[lrows])
+        cown = np.repeat(lrows, ccnt)
+        leaf_coll = is_leaf[cvals]  # same-level adjacent leaves, incl. self
+        u_own.append(cown[leaf_coll])
+        u_val.append(cvals[leaf_coll])
+        sc_parts.append(cvals[~leaf_coll])
+        sc_own_parts.append(cown[~leaf_coll])
+    sc = np.concatenate(sc_parts) if sc_parts else np.empty(0, dtype=np.int64)
+    sc_own = np.concatenate(sc_own_parts) if sc_own_parts else np.empty(0, dtype=np.int64)
+    cand, cnt = _csr_expand(child_ptr, child_arr, sc)
+    own = np.repeat(sc_own, cnt)
+    w_own: list[np.ndarray] = []
+    w_val: list[np.ndarray] = []
+    while own.size:
+        adj = _adjacent_rows(cols, cand, own)
+        w_own.append(own[~adj])
+        w_val.append(cand[~adj])
+        own, cand = own[adj], cand[adj]
+        leaf_hit = is_leaf[cand]
+        # deeper adjacent leaf: a U pair in both directions
+        u_own.append(own[leaf_hit])
+        u_val.append(cand[leaf_hit])
+        u_own.append(cand[leaf_hit])
+        u_val.append(own[leaf_hit])
+        own, cand = own[~leaf_hit], cand[~leaf_hit]
+        kids, cnt = _csr_expand(child_ptr, child_arr, cand)
+        own = np.repeat(own, cnt)
+        cand = kids
+    uo = np.concatenate(u_own)
+    uv = np.concatenate(u_val)
+    wo = np.concatenate(w_own) if w_own else np.empty(0, dtype=np.int64)
+    wv = np.concatenate(w_val) if w_val else np.empty(0, dtype=np.int64)
+
+    # ------------------------------------------- X duality and near field
+    if folded:
+        # Expand every W pair (b, w) to w's leaf descendants t.  Each
+        # expanded pair covers *both* folded directions at once: t becomes
+        # a P2P source of b (the W fold) and b a P2P source of t (the X
+        # fold pushed down to recv's leaves), so the whole folded near
+        # field is U pairs + the symmetric closure of the expansion.
+        own, cand = wo, wv
+        ext_own: list[np.ndarray] = []
+        ext_leaf: list[np.ndarray] = []
+        while cand.size:
+            leaf_hit = is_leaf[cand]
+            ext_own.append(own[leaf_hit])
+            ext_leaf.append(cand[leaf_hit])
+            own, cand = own[~leaf_hit], cand[~leaf_hit]
+            kids, cnt = _csr_expand(child_ptr, child_arr, cand)
+            own = np.repeat(own, cnt)
+            cand = kids
+        eo = np.concatenate(ext_own) if ext_own else np.empty(0, dtype=np.int64)
+        el = np.concatenate(ext_leaf) if ext_leaf else np.empty(0, dtype=np.int64)
+        il.near_sources = _group_pairs(
+            np.concatenate((uo, eo, el)), np.concatenate((uv, el, eo)), leaf_rows, eff_arr
+        )
+        # the grouping sort is stable and the U pairs come first in the
+        # concatenated input, so each leaf's U list is exactly the prefix
+        # of its near-source list — no second grouping pass needed
+        cnt_u = np.bincount(uo, minlength=n)[leaf_rows].tolist()
+        il.u_list = {k: lst[:c] for (k, lst), c in zip(il.near_sources.items(), cnt_u)}
+        il.w_list = {k: [] for k in il.u_list}
+        il.x_list = {}
+    else:
+        il.u_list = _group_pairs(uo, uv, leaf_rows, eff_arr)
+        il.w_list = _group_pairs(wo, wv, leaf_rows, eff_arr)
+        il.x_list = _group_pairs(wv, wo, np.unique(wv), eff_arr)
+        il.near_sources = {b: list(us) for b, us in il.u_list.items()}
+    return il
+
+
+def _finish_lists(tree, il, leaves, leaf_set, folded) -> None:
+    """X duality and the folded near-field sets (shared by both builders)."""
+    il.x_list = {}
+    for x, ws in il.w_list.items():
+        for wnode in ws:
+            il.x_list.setdefault(wnode, []).append(x)
+
+    for b in leaves:
+        il.near_sources[b] = list(il.u_list[b])
+    if folded:
+        # W entries become their leaf descendants (P2P sources)
+        for b in leaves:
+            extra: list[int] = []
+            for wnode in il.w_list[b]:
+                extra.extend(_leaf_descendants(tree, wnode, leaf_set))
+            il.near_sources[b].extend(extra)
+        # X entries are pushed down to every leaf under the receiving node
+        for recv, xs in il.x_list.items():
+            for t in _leaf_descendants(tree, recv, leaf_set):
+                il.near_sources[t].extend(xs)
+        # folded mode does not use M2P/P2L
+        il.w_list = {b: [] for b in leaves}
+        il.x_list = {}
+
+
+def build_interaction_lists_scalar(
+    tree: AdaptiveOctree, *, folded: bool = True
+) -> InteractionLists:
+    """Reference per-pair construction (the pre-vectorization algorithm).
+
+    Kept as the equivalence oracle for the vectorized builder and as the
+    baseline the hot-path benchmarks measure speedups against.
+    """
     il = InteractionLists(tree=tree, folded=folded)
     nodes = tree.nodes
     eff = tree.effective_nodes()
@@ -161,29 +529,7 @@ def build_interaction_lists(tree: AdaptiveOctree, *, folded: bool = True) -> Int
                     w.append(cur)
         il.w_list[b] = w
 
-    # ------------------------------------------------------ X lists (dual)
-    il.x_list = {}
-    for x, ws in il.w_list.items():
-        for wnode in ws:
-            il.x_list.setdefault(wnode, []).append(x)
-
-    # ----------------------------------------------- folded near-field sets
-    for b in leaves:
-        il.near_sources[b] = list(il.u_list[b])
-    if folded:
-        # W entries become their leaf descendants (P2P sources)
-        for b in leaves:
-            extra: list[int] = []
-            for wnode in il.w_list[b]:
-                extra.extend(_leaf_descendants(tree, wnode, leaf_set))
-            il.near_sources[b].extend(extra)
-        # X entries are pushed down to every leaf under the receiving node
-        for recv, xs in il.x_list.items():
-            for t in _leaf_descendants(tree, recv, leaf_set):
-                il.near_sources[t].extend(xs)
-        # folded mode does not use M2P/P2L
-        il.w_list = {b: [] for b in leaves}
-        il.x_list = {}
+    _finish_lists(tree, il, leaves, leaf_set, folded)
     return il
 
 
@@ -202,23 +548,15 @@ def _leaf_descendants(tree: AdaptiveOctree, nid: int, leaf_set: set[int]) -> lis
 
 
 def _integer_coords(tree: AdaptiveOctree, eff: list[int]) -> dict[int, tuple[int, int, int, int, int, int]]:
-    """Exact integer cell bounds on the finest Morton grid.
+    """Exact integer cell bounds on the finest Morton grid, as Python ints.
 
     Returns per-node (x0, y0, z0, x1, y1, z1) with the upper bound
     exclusive; two cells touch iff a.hi >= b.lo and b.hi >= a.lo on every
-    axis.  Plain Python ints: this predicate runs hundreds of thousands of
-    times per list build and must stay allocation-free.
+    axis.  Used by the scalar reference path, where the predicate must stay
+    allocation-free.
     """
-    ids = np.fromiter(eff, dtype=np.int64, count=len(eff))
-    keys = np.array([tree.nodes[n].key_lo for n in eff], dtype=np.uint64)
-    levels = np.array([tree.nodes[n].level for n in eff], dtype=np.int64)
-    ix, iy, iz = decode_morton(keys)
-    width = np.int64(1) << (MAX_MORTON_LEVEL - levels)
-    x0 = ix.astype(np.int64)
-    y0 = iy.astype(np.int64)
-    z0 = iz.astype(np.int64)
-    x1, y1, z1 = x0 + width, y0 + width, z0 + width
+    b = _integer_bounds(tree, eff)
     return {
-        int(n): (int(a), int(b), int(c), int(d), int(e), int(f))
-        for n, a, b, c, d, e, f in zip(ids, x0, y0, z0, x1, y1, z1)
+        int(nid): tuple(int(v) for v in row)
+        for nid, row in zip(eff, b)
     }

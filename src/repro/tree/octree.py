@@ -81,6 +81,16 @@ class AdaptiveOctree:
         self.points = pts
         self.S = int(S)
         self.max_level = int(max_level)
+        #: bumped by *every* mutation (surgery, refit/re-sort, child
+        #: materialization); stamps caches of body-dependent derived data
+        #: (inverse body order, per-node populations, near-field indices).
+        self.generation = 0
+        #: bumped only when the *effective tree shape* changes (collapse,
+        #: pushdown, materialized children) — a pure :meth:`refit` leaves it
+        #: untouched, which is what lets interaction lists survive frozen-
+        #: shape time steps.  Consumers must compare stored stamps, never
+        #: absolute values.
+        self.structure_generation = 0
         self.root_box = root_box if root_box is not None else bounding_box(pts)
         if not bool(self.root_box.contains(pts).all()):
             raise ValueError("root_box does not contain all points")
@@ -89,11 +99,28 @@ class AdaptiveOctree:
         self._build_root()
         self._split_recursive(0)
 
+    # ---------------------------------------------------------- invalidation
+    def _bump(self, *, structural: bool = False) -> None:
+        self.generation += 1
+        if structural:
+            self.structure_generation += 1
+
+    def mark_structure_dirty(self) -> None:
+        """Declare an out-of-band structural edit.
+
+        For callers that flip ``is_leaf``/``hidden`` flags directly (the
+        fine-grained optimizer's snapshot rollback) instead of going through
+        :meth:`collapse`/:meth:`pushdown`; bumps both generation counters so
+        every cached derivation of the old shape is invalidated.
+        """
+        self._bump(structural=True)
+
     # ------------------------------------------------------------- building
     def _sort_bodies(self) -> None:
         keys = morton_keys(self.points, self.root_box.low, self.root_box.size)
         self.order = np.argsort(keys, kind="stable")
         self.sorted_keys = keys[self.order]
+        self._bump()
 
     def _build_root(self) -> None:
         self.nodes.clear()
@@ -166,6 +193,8 @@ class AdaptiveOctree:
             if cid is not None:
                 node.children.append(cid)
                 created.append(cid)
+        if created:
+            self._bump(structural=True)
         return created
 
     def _split_recursive(self, nid: int) -> None:
@@ -221,11 +250,11 @@ class AdaptiveOctree:
 
     def leaf_of_body(self, body: int) -> int:
         """Effective leaf currently holding body ``body`` (by sorted range)."""
-        if not hasattr(self, "_inv_order") or self._inv_order_stamp is not self.order:
+        if getattr(self, "_inv_order_generation", None) != self.generation:
             inv = np.empty_like(self.order)
             inv[self.order] = np.arange(self.order.shape[0])
             self._inv_order = inv
-            self._inv_order_stamp = self.order
+            self._inv_order_generation = self.generation
         pos = int(self._inv_order[body])
         nid = 0
         while not self.nodes[nid].is_leaf:
@@ -247,6 +276,7 @@ class AdaptiveOctree:
         for cid in self._descendants(nid):
             self.nodes[cid].hidden = True
         node.is_leaf = True
+        self._bump(structural=True)
 
     def pushdown(self, nid: int) -> list[int]:
         """Subdivide leaf ``nid``; returns the ids of its effective children.
@@ -271,6 +301,7 @@ class AdaptiveOctree:
             child.is_leaf = True  # any grandchildren stay hidden until reclaimed
             kids.append(cid)
         node.is_leaf = False
+        self._bump(structural=True)
         return kids
 
     def _descendants(self, nid: int) -> list[int]:
@@ -306,6 +337,9 @@ class AdaptiveOctree:
             if node.is_leaf and node.count > S and node.level < self.max_level:
                 stack.extend(self.pushdown(nid))
                 pushdowns += 1
+        # the sweep itself counts as a mutation even when it was a no-op
+        # (callers observing `generation` see that maintenance ran)
+        self._bump()
         return {"collapses": collapses, "pushdowns": pushdowns}
 
     # ----------------------------------------------------------------- refit

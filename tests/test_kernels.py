@@ -166,3 +166,29 @@ class TestDirect:
         g = direct_evaluate(k, pts, pts, m, gradient=True, exclude_self=True)
         assert g.shape == (30, 3)
         assert np.allclose((m[:, None] * g).sum(axis=0), 0.0, atol=1e-10)
+
+    @pytest.mark.parametrize(
+        "make_kernel, strength_shape",
+        [
+            (lambda: LaplaceKernel(), (25,)),
+            (lambda: RegularizedStokesletKernel(epsilon=0.1), (25, 3)),
+        ],
+    )
+    def test_output_dim_follows_gradient_flag(self, rng, make_kernel, strength_shape):
+        """Regression: (n, 3) when gradient is requested, (n, value_dim) otherwise.
+
+        The output buffer used to be sized by ``value_dim`` unconditionally,
+        which broadcast-crashed scalar-kernel gradients into (n, 1).
+        """
+        k = make_kernel()
+        pts = rng.uniform(-1, 1, (25, 3))
+        s = rng.uniform(-1, 1, strength_shape)
+        val = direct_evaluate(k, pts, pts, s, exclude_self=True)
+        assert val.shape == (25, k.value_dim)
+        grad = direct_evaluate(k, pts, pts, s, gradient=True, exclude_self=True)
+        assert grad.shape == (25, 3)
+        # chunking must not change either shape or value
+        grad_chunked = direct_evaluate(
+            k, pts, pts, s, gradient=True, exclude_self=True, chunk=4
+        )
+        assert np.allclose(grad, grad_chunked)

@@ -1,0 +1,187 @@
+"""Cache correctness: generation stamps, invalidation, and list reuse.
+
+Covers the PR-1 contract: every surgery op bumps the tree's counters and
+invalidates cached lists, a pure refit keeps lists valid (frozen-shape
+steps never rebuild), and a post-surgery rebuild matches a from-scratch
+build node-for-node.
+"""
+
+import numpy as np
+import pytest
+
+from repro.distributions.generators import gaussian_blobs
+from repro.tree import AdaptiveOctree, ListCache, build_interaction_lists
+from repro.tree.lists import build_interaction_lists_scalar
+
+
+def _tree(n=600, S=20, seed=3):
+    pts = gaussian_blobs(n, seed=seed).positions
+    return AdaptiveOctree(pts, S=S)
+
+
+def _first_internal(tree):
+    for nid in tree.effective_nodes():
+        if not tree.nodes[nid].is_leaf:
+            return nid
+    pytest.skip("tree has no internal node")
+
+
+def _splittable_leaf(tree):
+    for nid in tree.leaves():
+        if tree.nodes[nid].count > 1 and tree.nodes[nid].level < tree.max_level:
+            return nid
+    pytest.skip("tree has no splittable leaf")
+
+
+def assert_lists_equal(a, b):
+    """Node-for-node equality of every list family.
+
+    Colleague/V candidate order is deterministic (parent-colleague-major),
+    so those compare exactly; U/W/X/near are traversal-order dependent and
+    compare as sets.
+    """
+    assert a.colleagues == b.colleagues
+    assert a.v_list == b.v_list
+    for name in ("u_list", "w_list", "x_list", "near_sources"):
+        da, db = getattr(a, name), getattr(b, name)
+        assert set(da) == set(db), name
+        for k in da:
+            assert sorted(da[k]) == sorted(db[k]), (name, k)
+
+
+# ------------------------------------------------------------- generation
+def test_construction_sets_counters():
+    tree = _tree()
+    assert tree.generation > 0
+    assert tree.structure_generation >= 0
+
+
+@pytest.mark.parametrize("op", ["collapse", "pushdown", "enforce_s", "refit", "mark"])
+def test_every_surgery_op_bumps_generation(op):
+    tree = _tree()
+    gen0, sgen0 = tree.generation, tree.structure_generation
+    if op == "collapse":
+        tree.collapse(_first_internal(tree))
+    elif op == "pushdown":
+        tree.pushdown(_splittable_leaf(tree))
+    elif op == "enforce_s":
+        tree.enforce_s(tree.S)
+    elif op == "refit":
+        tree.refit()
+    else:
+        tree.mark_structure_dirty()
+    assert tree.generation > gen0, op
+    if op in ("collapse", "pushdown", "mark"):
+        # shape definitely changed (or was declared changed)
+        assert tree.structure_generation > sgen0, op
+    if op == "refit":
+        # refit keeps the effective shape: lists stay valid
+        assert tree.structure_generation == sgen0
+
+
+# ---------------------------------------------------------------- ListCache
+def test_cache_hits_on_frozen_shape():
+    tree = _tree()
+    cache = ListCache()
+    l1 = cache.get(tree)
+    l2 = cache.get(tree)
+    assert l1 is l2
+    assert (cache.builds, cache.hits) == (1, 1)
+
+
+def test_refit_does_not_invalidate_lists():
+    tree = _tree()
+    cache = ListCache()
+    l1 = cache.get(tree)
+    rng = np.random.default_rng(0)
+    moved = tree.points + rng.normal(scale=1e-4, size=tree.points.shape)
+    tree.points = np.clip(moved, tree.root_box.low, tree.root_box.high)
+    tree.refit()
+    assert cache.get(tree) is l1
+    assert cache.builds == 1
+
+
+@pytest.mark.parametrize("op", ["collapse", "pushdown", "enforce_s", "mark"])
+def test_stale_lists_rejected_after_surgery(op):
+    tree = _tree()
+    cache = ListCache()
+    l1 = cache.get(tree)
+    if op == "collapse":
+        tree.collapse(_first_internal(tree))
+    elif op == "pushdown":
+        tree.pushdown(_splittable_leaf(tree))
+    elif op == "enforce_s":
+        # force real surgery: a tighter S must push down at least one leaf
+        ops = tree.enforce_s(max(1, tree.S // 4))
+        if ops["collapses"] + ops["pushdowns"] == 0:
+            pytest.skip("enforce_s was a no-op on this tree")
+    else:
+        tree.mark_structure_dirty()
+    l2 = cache.get(tree)
+    assert l2 is not l1
+    assert cache.builds == 2
+    # the rebuilt lists match a from-scratch build node-for-node
+    assert_lists_equal(l2, build_interaction_lists(tree, folded=True))
+    assert_lists_equal(l2, build_interaction_lists_scalar(tree, folded=True))
+
+
+def test_cache_keyed_by_folded_flag():
+    tree = _tree()
+    cache = ListCache()
+    lf = cache.get(tree, folded=True)
+    lu = cache.get(tree, folded=False)
+    assert lf is not lu
+    assert lu.w_list != lf.w_list  # unfolded keeps real W entries
+    assert cache.get(tree, folded=True) is lf
+    assert cache.builds == 2 and cache.hits == 1
+
+
+def test_cache_distinguishes_trees_and_drops_dead_entries():
+    t1, t2 = _tree(seed=1), _tree(seed=2)
+    cache = ListCache()
+    l1, l2 = cache.get(t1), cache.get(t2)
+    assert l1 is not l2 and len(cache) == 2
+    del t1, l1
+    import gc
+
+    gc.collect()
+    assert len(cache) == 1  # weakref callback evicted the dead tree
+
+
+# ------------------------------------------------------------ derived data
+def test_op_counts_memoized_and_refit_invalidated():
+    tree = _tree()
+    lists = build_interaction_lists(tree)
+    c1 = lists.op_counts()
+    assert lists.op_counts() == c1
+    c1["P2P"] = -1  # returned copies are caller-owned
+    assert lists.op_counts()["P2P"] != -1
+    tree.refit()  # body-dependent derived data must restamp
+    assert lists.op_counts() == lists.op_counts()
+
+
+def test_near_field_work_items_memoized():
+    from repro.gpu.partition import near_field_work_items
+
+    tree = _tree()
+    lists = build_interaction_lists(tree)
+    i1 = near_field_work_items(lists)
+    assert near_field_work_items(lists) is i1
+    tree.refit()
+    assert near_field_work_items(lists) is not i1
+
+
+# ------------------------------------------------------------ leaf_of_body
+def test_leaf_of_body_tracks_mutations():
+    tree = _tree()
+    for b in (0, tree.n_bodies // 2, tree.n_bodies - 1):
+        leaf = tree.leaf_of_body(b)
+        assert b in tree.bodies(leaf).tolist()
+    # refit re-sorts bodies; the generation-stamped inverse order must follow
+    rng = np.random.default_rng(1)
+    moved = tree.points + rng.normal(scale=0.05, size=tree.points.shape)
+    tree.points = np.clip(moved, tree.root_box.low, tree.root_box.high)
+    tree.refit()
+    for b in (0, tree.n_bodies // 2, tree.n_bodies - 1):
+        leaf = tree.leaf_of_body(b)
+        assert b in tree.bodies(leaf).tolist()
