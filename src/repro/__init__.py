@@ -53,6 +53,7 @@ from repro.machine import (
     system_a,
     system_b,
 )
+from repro.obs import DriftTracker, MetricsRegistry, Telemetry, Tracer
 from repro.sim import Simulation, SimulationConfig
 from repro.tree import (
     AdaptiveOctree,
@@ -69,6 +70,7 @@ __all__ = [
     "BalancerState",
     "Box",
     "CartesianExpansion",
+    "DriftTracker",
     "DynamicLoadBalancer",
     "FMMResult",
     "FMMSolver",
@@ -76,6 +78,7 @@ __all__ = [
     "HeterogeneousExecutor",
     "LaplaceKernel",
     "MachineSpec",
+    "MetricsRegistry",
     "ObservedCoefficients",
     "ParticleSet",
     "RegularizedStokesletKernel",
@@ -84,6 +87,8 @@ __all__ = [
     "SphericalExpansion",
     "StepTiming",
     "StokesletFMMSolver",
+    "Telemetry",
+    "Tracer",
     "accuracy_report",
     "bounding_box",
     "build_adaptive",

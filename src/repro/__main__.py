@@ -7,6 +7,7 @@ Usage::
     python -m repro fig6 --n 100000 --S 64
     python -m repro strategies --n 2500 --steps 300
     python -m repro fig7 --n 50000
+    python -m repro trace --n 2000 --steps 30 --out trace.json
 
 Options are forwarded as keyword arguments to the experiment's ``run``;
 integers and floats are parsed automatically.
@@ -27,6 +28,7 @@ from repro.experiments import (
     fig10_finegrained,
     table1_gpu_scaling,
 )
+from repro.obs import run as obs_run
 
 COMMANDS = {
     "fig3": ("Fig. 3 — adaptive CPU/GPU cost vs S", fig3_adaptive_cost.main),
@@ -42,6 +44,10 @@ COMMANDS = {
     "cluster": (
         "Extension — distributed-memory strong scaling (paper §II)",
         cluster_scaling.main,
+    ),
+    "trace": (
+        "Telemetry — short instrumented run; writes Chrome trace + metrics",
+        obs_run.main,
     ),
 }
 

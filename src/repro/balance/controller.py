@@ -40,6 +40,7 @@ from repro.balance.states import BalancerState
 from repro.costmodel.coefficients import ObservedCoefficients
 from repro.costmodel.predictor import predict_times
 from repro.machine.executor import HeterogeneousExecutor, StepTiming
+from repro.obs import Telemetry
 from repro.tree.octree import AdaptiveOctree
 
 __all__ = ["DynamicLoadBalancer", "LBOutcome"]
@@ -68,12 +69,15 @@ class DynamicLoadBalancer:
         config: BalancerConfig | None = None,
         initial_S: int | None = None,
         mode: str = "full",
+        telemetry: Telemetry | None = None,
     ) -> None:
         if mode not in ("static", "enforce", "full"):
             raise ValueError(f"unknown balancer mode {mode!r}")
         self.executor = executor
         self.config = config or BalancerConfig()
         self.mode = mode
+        #: defaults to the executor's bundle so one wiring point suffices
+        self.telemetry = telemetry if telemetry is not None else executor.telemetry
         self.coeffs = ObservedCoefficients()
         self.state = BalancerState.SEARCH
         # log-space binary search bounds
@@ -92,6 +96,7 @@ class DynamicLoadBalancer:
     def end_of_step(self, tree: AdaptiveOctree, timing: StepTiming) -> LBOutcome:
         """Digest one step's timing; possibly adjust S or operate on the tree."""
         self.coeffs.update_from_registry(timing.cpu_registry, timing.gpu_p2p_coefficient)
+        prev_state = self.state
         out = LBOutcome(state=self.state)
         if self._expect_new_best:
             # the step right after an enforcement becomes the new best
@@ -99,6 +104,8 @@ class DynamicLoadBalancer:
             self._expect_new_best = False
         if self._frozen:
             out.actions.append("frozen")
+            if self.telemetry.enabled:
+                self._record_outcome(prev_state, out)
             return out
         if self.state is BalancerState.SEARCH:
             self._search_step(tree, timing, out)
@@ -107,7 +114,30 @@ class DynamicLoadBalancer:
         else:
             self._observation_step(tree, timing, out)
         out.state = self.state
+        if self.telemetry.enabled:
+            self._record_outcome(prev_state, out)
         return out
+
+    def _record_outcome(self, prev_state: BalancerState, out: LBOutcome) -> None:
+        """Mirror one step's balancer activity into the telemetry bundle."""
+        tel = self.telemetry
+        if self.state is not prev_state:
+            tel.metrics.counter(
+                "balancer_transitions_total",
+                "balancer state transitions (§VII-B three-state controller)",
+                labels={"from": prev_state.value, "to": self.state.value},
+            ).inc()
+            tel.tracer.instant(
+                "balancer-transition", **{"from": prev_state.value, "to": self.state.value}
+            )
+        tel.metrics.gauge("balancer_S", "current leaf-capacity parameter S").set(self.S)
+        for action in out.actions:
+            tel.metrics.counter(
+                "balancer_actions_total",
+                "balancer actions taken at end of step",
+                labels={"action": action.split(" ", 1)[0].split("=", 1)[0]},
+            ).inc()
+            tel.tracer.instant("balancer-action", action=action, state=self.state.value)
 
     # --------------------------------------------------------------- search
     def _search_step(self, tree, timing, out) -> None:

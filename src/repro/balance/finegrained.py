@@ -138,6 +138,11 @@ def fine_grained_optimize(
     """
     config = config or BalancerConfig()
     report = FineGrainedReport()
+    # telemetry rides on the executor (mock executors in tests may lack it)
+    telemetry = getattr(executor, "telemetry", None)
+    metrics = telemetry.metrics if telemetry is not None and telemetry.enabled else None
+    tracer = telemetry.tracer if telemetry is not None else None
+    examined = 0
     # route builds through the executor's cache when it has one (mock
     # executors in tests may not); every surgery round bumps the tree's
     # structure generation, so cached lookups rebuild exactly when needed
@@ -170,6 +175,7 @@ def fine_grained_optimize(
                 if tree.nodes[nid].is_leaf and tree.nodes[nid].level < tree.max_level:
                     tree.pushdown(nid)
                     n_ops += 1
+        examined += len(targets)
         if n_ops == 0:
             break
         lists = get_lists()
@@ -190,4 +196,26 @@ def fine_grained_optimize(
             break
 
     report.final = best
+    if metrics is not None:
+        metrics.counter(
+            "fgo_calls_total", "FineGrainedOptimize invocations"
+        ).inc()
+        metrics.counter(
+            "fgo_candidates_examined_total",
+            "collapse/pushdown candidates tentatively applied",
+        ).inc(examined)
+        metrics.counter(
+            "fgo_operations_accepted_total",
+            "surgery operations kept after prediction improved",
+        ).inc(report.operations)
+        metrics.counter(
+            "fgo_rounds_total", "tentative surgery rounds evaluated"
+        ).inc(report.rounds)
+        tracer.instant(
+            "fine-grained-optimize",
+            rounds=report.rounds,
+            examined=examined,
+            accepted=report.operations,
+            changed=report.changed,
+        )
     return report

@@ -33,6 +33,7 @@ from repro.gpu.model import GPUKernelModel, KernelTiming
 from repro.gpu.partition import near_field_work_items, partition_targets
 from repro.kernels.base import Kernel
 from repro.machine.spec import MachineSpec
+from repro.obs import NULL_TELEMETRY, Telemetry
 from repro.runtime.scheduler import simulate_schedule
 from repro.runtime.tasks import build_fmm_task_graph, build_treebuild_task_graph
 from repro.tree.cache import ListCache
@@ -82,6 +83,7 @@ class HeterogeneousExecutor:
         seed: int | None = 0,
         offload_endpoints: bool = False,
         list_cache: ListCache | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         """``offload_endpoints`` enables the §VIII-E extension: P2M and L2P
         move to the GPUs ("The way forward in such an unbalanced situation
@@ -96,6 +98,7 @@ class HeterogeneousExecutor:
         #: shared with the balance controller so observation steps and
         #: candidate evaluations on a frozen-shape tree reuse one build
         self.list_cache = list_cache if list_cache is not None else ListCache()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._rng = default_rng(seed)
         self._gpu_models = [GPUKernelModel(g) for g in machine.gpus]
         if offload_endpoints and machine.n_gpus == 0:
@@ -104,21 +107,33 @@ class HeterogeneousExecutor:
     # ------------------------------------------------------------- stepping
     def time_step(self, tree: AdaptiveOctree, lists: InteractionLists | None = None) -> StepTiming:
         """Model the compute time of one FMM solve on the current tree."""
+        tracer = self.telemetry.tracer
         if lists is None:
             lists = self.list_cache.get(tree, folded=self.folded)
         counts = lists.op_counts()
         flops = self._op_flops(tree, lists, counts)
 
         include_near = self.machine.n_gpus == 0
-        graph = build_fmm_task_graph(
-            tree,
-            lists,
-            order=self.order,
-            kernel=self.kernel,
-            include_near_field=include_near,
-            include_endpoints=not self.offload_endpoints,
-        )
-        sched = simulate_schedule(graph, self.machine.cpu, self.machine.cpu.n_cores)
+        with tracer.span("far-field", n_nodes=len(tree.nodes)):
+            graph = build_fmm_task_graph(
+                tree,
+                lists,
+                order=self.order,
+                kernel=self.kernel,
+                include_near_field=include_near,
+                include_endpoints=not self.offload_endpoints,
+            )
+            sched = simulate_schedule(
+                graph,
+                self.machine.cpu,
+                self.machine.cpu.n_cores,
+                record_timeline=tracer.enabled,
+            )
+        if sched.timeline is not None:
+            tracer.add_worker_lanes(
+                ((graph.tasks[tid].label or tid, w, s, e) for tid, w, s, e in sched.timeline),
+                makespan=sched.makespan,
+            )
         noise = self._noise()
         cpu_time = sched.makespan * noise
         # §IV-D derives coefficients from per-thread busy time ("the times
@@ -133,31 +148,34 @@ class HeterogeneousExecutor:
         gpu_coeff = 0.0
         gpu_eff = 1.0
         if self.machine.n_gpus > 0:
-            items = near_field_work_items(lists)
-            parts = partition_targets(items, self.machine.n_gpus)
-            per_gpu = [m.time_items(p) for m, p in zip(self._gpu_models, parts)]
-            per_gpu = [
-                KernelTiming(t.kernel_time * self._noise(), t.n_blocks, t.interactions, t.issued_body_steps)
-                for t in per_gpu
-            ]
-            gpu_time = max(t.kernel_time for t in per_gpu)
-            if self.offload_endpoints:
-                # P2M + L2P run as extra GPU kernels, split evenly; charged
-                # at the device's effective FLOP throughput
-                endpoint_flops = flops["P2M"] + flops["L2P"]
-                gpu_time += endpoint_flops / (
-                    self._gpu_flop_rate() * self.machine.n_gpus
-                )
-            total_inter = sum(t.interactions for t in per_gpu)
-            gpu_coeff = gpu_time / total_inter if total_inter else 0.0
-            issued = sum(t.issued_body_steps for t in per_gpu)
-            gpu_eff = total_inter / issued if issued else 1.0
+            with tracer.span("near-field", n_gpus=self.machine.n_gpus):
+                items = near_field_work_items(lists)
+                parts = partition_targets(items, self.machine.n_gpus)
+                per_gpu = [m.time_items(p) for m, p in zip(self._gpu_models, parts)]
+                per_gpu = [
+                    KernelTiming(t.kernel_time * self._noise(), t.n_blocks, t.interactions, t.issued_body_steps)
+                    for t in per_gpu
+                ]
+                gpu_time = max(t.kernel_time for t in per_gpu)
+                if self.offload_endpoints:
+                    # P2M + L2P run as extra GPU kernels, split evenly; charged
+                    # at the device's effective FLOP throughput
+                    endpoint_flops = flops["P2M"] + flops["L2P"]
+                    gpu_time += endpoint_flops / (
+                        self._gpu_flop_rate() * self.machine.n_gpus
+                    )
+                total_inter = sum(t.interactions for t in per_gpu)
+                gpu_coeff = gpu_time / total_inter if total_inter else 0.0
+                issued = sum(t.issued_body_steps for t in per_gpu)
+                gpu_eff = total_inter / issued if issued else 1.0
 
         cpu_flops = dict(flops)
         if self.offload_endpoints:
             cpu_flops["P2M"] = 0.0
             cpu_flops["L2P"] = 0.0
         registry = self._attribute_cpu_time(attributable, counts, cpu_flops, include_near)
+        if self.telemetry.enabled:
+            self._record_step_metrics(registry, gpu_coeff, cpu_time, gpu_time)
         return StepTiming(
             cpu_time=cpu_time,
             gpu_time=gpu_time,
@@ -199,6 +217,29 @@ class HeterogeneousExecutor:
         return self._cpu_parallel_time(4000.0 * max(0, n_operations)) * self._noise()
 
     # --------------------------------------------------------------- helpers
+    def _record_step_metrics(self, registry, gpu_coeff, cpu_time, gpu_time) -> None:
+        """Mirror one step's observed coefficients and phase times into the
+        metrics registry (gauges: the §IV-D quantities the balancer reads)."""
+        m = self.telemetry.metrics
+        for op, value in registry.coefficients().items():
+            if value > 0.0:
+                m.gauge(
+                    "fmm_op_coefficient_seconds",
+                    "observed per-application cost of one FMM operation (§IV-D)",
+                    labels={"op": op, "device": "cpu"},
+                ).set(value)
+        if gpu_coeff > 0.0:
+            m.gauge(
+                "fmm_op_coefficient_seconds",
+                "observed per-application cost of one FMM operation (§IV-D)",
+                labels={"op": "P2P", "device": "gpu"},
+            ).set(gpu_coeff)
+        m.gauge("fmm_step_cpu_seconds", "modeled CPU far-field time of the last step").set(cpu_time)
+        m.gauge("fmm_step_gpu_seconds", "modeled GPU near-field time of the last step").set(gpu_time)
+        m.histogram(
+            "fmm_step_compute_seconds", "modeled max(CPU, GPU) compute time per step"
+        ).observe(max(cpu_time, gpu_time))
+
     def _gpu_flop_rate(self) -> float:
         """Effective FLOPs/s of one GPU (peak interaction rate x FLOPs/pair)."""
         g = self.machine.gpus[0]

@@ -1,0 +1,232 @@
+"""Counters, gauges, and histograms with Prometheus-style exposition.
+
+The registry is the numeric side of the telemetry subsystem: where the
+tracer answers *when*, metrics answer *how many / how much* — balancer
+state transitions, ListCache hits vs. builds, FineGrainedOptimize
+candidates examined vs. accepted, per-op coefficient gauges.
+
+Instruments are get-or-create by ``(name, labels)``, so hot paths hold a
+direct reference and pay one float add per event; re-registering with the
+same name returns the existing instrument (and refuses a kind change).
+Two export forms:
+
+* :meth:`MetricsRegistry.to_prometheus` — the text exposition format
+  (``# HELP`` / ``# TYPE`` / ``name{label="v"} value``);
+* :meth:`MetricsRegistry.snapshot` — a plain JSON-able dict for the
+  ``python -m repro trace`` artifact and for tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
+
+#: histogram defaults tuned for per-step *modeled seconds* and ratios
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    kind = "counter"
+    __slots__ = ("name", "help", "labels", "value")
+
+    def __init__(self, name: str, help: str = "", labels: dict[str, str] | None = None) -> None:
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (got {amount})")
+        self.value += amount
+
+    def expose(self) -> list[str]:
+        return [f"{self.name}{_fmt_labels(self.labels)} {_fmt_value(self.value)}"]
+
+    def snapshot(self) -> Any:
+        return self.value
+
+
+class Gauge:
+    """A value that goes up and down (coefficients, S, imbalance)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "help", "labels", "value")
+
+    def __init__(self, name: str, help: str = "", labels: dict[str, str] | None = None) -> None:
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def expose(self) -> list[str]:
+        return [f"{self.name}{_fmt_labels(self.labels)} {_fmt_value(self.value)}"]
+
+    def snapshot(self) -> Any:
+        return self.value
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics).
+
+    ``buckets`` are upper bounds; observations land in every bucket whose
+    bound is >= the value, plus the implicit ``+Inf`` bucket.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "help", "labels", "buckets", "bucket_counts", "sum", "count")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: dict[str, str] | None = None,
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bucket_counts = [0] * len(self.buckets)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+
+    def expose(self) -> list[str]:
+        lines = []
+        # observe() increments every bucket whose bound covers the value,
+        # so the stored counts are already cumulative as Prometheus expects
+        for bound, c in zip(self.buckets, self.bucket_counts):
+            labels = dict(self.labels)
+            labels["le"] = _fmt_value(bound)
+            lines.append(f"{self.name}_bucket{_fmt_labels(labels)} {c}")
+        labels = dict(self.labels)
+        labels["le"] = "+Inf"
+        lines.append(f"{self.name}_bucket{_fmt_labels(labels)} {self.count}")
+        lines.append(f"{self.name}_sum{_fmt_labels(self.labels)} {_fmt_value(self.sum)}")
+        lines.append(f"{self.name}_count{_fmt_labels(self.labels)} {self.count}")
+        return lines
+
+    def snapshot(self) -> Any:
+        return {
+            "buckets": {_fmt_value(b): c for b, c in zip(self.buckets, self.bucket_counts)},
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create home for every instrument in one process."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, tuple[tuple[str, str], ...]], Any] = {}
+
+    # ------------------------------------------------------------- creation
+    def counter(self, name: str, help: str = "", labels: dict[str, str] | None = None) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", labels: dict[str, str] | None = None) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: dict[str, str] | None = None,
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        existing = self._metrics.get(key)
+        if existing is not None:
+            if existing.kind != "histogram":
+                raise ValueError(f"metric {name!r} already registered as {existing.kind}")
+            return existing
+        metric = Histogram(name, help, labels, buckets)
+        self._metrics[key] = metric
+        return metric
+
+    def _get_or_create(self, cls, name, help, labels):
+        key = (name, _label_key(labels))
+        existing = self._metrics.get(key)
+        if existing is not None:
+            if existing.kind != cls.kind:
+                raise ValueError(f"metric {name!r} already registered as {existing.kind}")
+            return existing
+        metric = cls(name, help, labels)
+        self._metrics[key] = metric
+        return metric
+
+    # --------------------------------------------------------------- export
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+    def to_prometheus(self) -> str:
+        """Text exposition: one ``# HELP``/``# TYPE`` block per metric name."""
+        lines: list[str] = []
+        documented: set[str] = set()
+        for (name, _), metric in sorted(self._metrics.items()):
+            if name not in documented:
+                documented.add(name)
+                if metric.help:
+                    lines.append(f"# HELP {name} {metric.help}")
+                lines.append(f"# TYPE {name} {metric.kind}")
+            lines.extend(metric.expose())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-able ``{name or name{labels}: value}`` view of every metric."""
+        out: dict[str, Any] = {}
+        for (name, _), metric in sorted(self._metrics.items()):
+            key = name + _fmt_labels(metric.labels)
+            out[key] = metric.snapshot()
+        return out
+
+
+def _label_key(labels: dict[str, str] | None) -> tuple[tuple[str, str], ...]:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _fmt_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape(str(v))}"' for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _fmt_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)

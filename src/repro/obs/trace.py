@@ -1,0 +1,284 @@
+"""Hierarchical span tracing with Chrome/Perfetto trace-event export.
+
+The tracer answers one question the paper's feedback loop otherwise keeps
+invisible: *where did a step's wall-clock go, and what did the simulated
+machine do with it?*  Two kinds of lanes coexist in one trace file:
+
+* **wall-clock spans** — nested context-manager sections of the real
+  Python process (tree build, far field, near field, balancer), one trace
+  "process" whose timebase is ``time.perf_counter``;
+* **simulated worker lanes** — the per-worker ``(task, start, end)``
+  timeline of :func:`repro.runtime.scheduler.simulate_schedule`, replayed
+  on a second trace "process" whose timebase is simulated seconds.
+  Successive schedules are laid end to end on a per-process cursor, so a
+  30-step run reads as 30 consecutive schedules per worker lane.
+
+Disabled tracers are hard no-ops: :meth:`Tracer.span` returns a shared
+singleton context manager and every other entry point returns before
+allocating anything, which is what lets instrumentation stay inline in
+hot loops (see ``benchmarks/test_bench_obs_overhead.py`` for the <2%
+budget).
+
+Export follows the Trace Event Format (the JSON consumed by
+``chrome://tracing`` and https://ui.perfetto.dev): complete events
+(``ph="X"``) with microsecond ``ts``/``dur``, counter events (``ph="C"``)
+for trajectories like the balancer's S, instant events (``ph="i"``) for
+balancer actions, and metadata events (``ph="M"``) naming processes and
+threads.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable, Iterable
+
+__all__ = ["Span", "Tracer", "WALL_PID", "SIM_PID"]
+
+#: trace-process id of the real (wall-clock) Python process
+WALL_PID = 1
+#: trace-process id hosting simulated scheduler worker lanes
+SIM_PID = 2
+
+
+class _NullSpan:
+    """Shared no-op context manager returned by disabled tracers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+    def set(self, **args: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def _json_default(obj: Any):
+    """Coerce numpy scalars (and anything else numeric-ish) for export."""
+    try:
+        return float(obj)
+    except (TypeError, ValueError):
+        return str(obj)
+
+
+class Span:
+    """One live wall-clock section; created by :meth:`Tracer.span`."""
+
+    __slots__ = ("tracer", "name", "args", "ts", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, args: dict[str, Any]) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.args = args
+        self.ts = 0.0
+        self._start = 0.0
+
+    def set(self, **args: Any) -> None:
+        """Attach (or overwrite) argument fields while the span is open."""
+        self.args.update(args)
+
+    def __enter__(self) -> "Span":
+        self._start = self.tracer._clock()
+        self.ts = (self._start - self.tracer._epoch) * 1e6
+        self.tracer._stack.append(self.name)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        end = self.tracer._clock()
+        stack = self.tracer._stack
+        if stack and stack[-1] == self.name:
+            stack.pop()
+        self.tracer._events.append(
+            {
+                "ph": "X",
+                "name": self.name,
+                "cat": "wall",
+                "pid": WALL_PID,
+                "tid": 0,
+                "ts": self.ts,
+                "dur": (end - self._start) * 1e6,
+                "args": self.args,
+            }
+        )
+
+
+class Tracer:
+    """Collects trace events; exports Chrome trace-event JSON.
+
+    ``enabled=False`` (the default for the shared null telemetry) makes
+    every method a near-free no-op, so instrumented hot paths need no
+    conditional guards at the call site.
+    """
+
+    def __init__(
+        self,
+        *,
+        enabled: bool = True,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.enabled = enabled
+        self._clock = clock
+        self._epoch = clock() if enabled else 0.0
+        self._events: list[dict[str, Any]] = []
+        self._stack: list[str] = []
+        #: per-pid cursor (µs) where the next batch of simulated lanes starts
+        self._lane_cursor: dict[int, float] = {}
+        self._named_threads: set[tuple[int, Any]] = set()
+
+    # ---------------------------------------------------------------- spans
+    def span(self, name: str, **args: Any) -> Span | _NullSpan:
+        """Context manager timing a nested wall-clock section."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return Span(self, name, args)
+
+    def instant(self, name: str, **args: Any) -> None:
+        """A zero-duration marker (balancer actions, cache invalidations)."""
+        if not self.enabled:
+            return
+        self._events.append(
+            {
+                "ph": "i",
+                "name": name,
+                "cat": "event",
+                "pid": WALL_PID,
+                "tid": 0,
+                "ts": (self._clock() - self._epoch) * 1e6,
+                "s": "t",
+                "args": args,
+            }
+        )
+
+    def counter(self, name: str, value: float, **extra: float) -> None:
+        """A counter sample (``ph="C"``): trajectories like S over time."""
+        if not self.enabled:
+            return
+        series = {name: value}
+        series.update(extra)
+        self._events.append(
+            {
+                "ph": "C",
+                "name": name,
+                "cat": "counter",
+                "pid": WALL_PID,
+                "tid": 0,
+                "ts": (self._clock() - self._epoch) * 1e6,
+                "args": series,
+            }
+        )
+
+    # ------------------------------------------------------- simulated lanes
+    def add_worker_lanes(
+        self,
+        timeline: Iterable[tuple[Any, int, float, float]],
+        *,
+        pid: int = SIM_PID,
+        makespan: float | None = None,
+        phase: str = "schedule",
+    ) -> None:
+        """Replay a scheduler-simulator timeline as per-worker trace lanes.
+
+        ``timeline`` holds ``(label, worker, start, end)`` tuples in
+        simulated seconds (see
+        :attr:`repro.runtime.scheduler.ScheduleResult.timeline`).  Batches
+        land end to end on process ``pid``: each call starts where the
+        previous one (plus its makespan) stopped, so consecutive steps'
+        schedules do not overlap.
+        """
+        if not self.enabled:
+            return
+        base = self._lane_cursor.get(pid, 0.0)
+        last_end = 0.0
+        for label, worker, start, end in timeline:
+            if (pid, worker) not in self._named_threads:
+                self._name_thread(pid, worker, f"worker-{worker}")
+            self._events.append(
+                {
+                    "ph": "X",
+                    "name": str(label) or "task",
+                    "cat": phase,
+                    "pid": pid,
+                    "tid": worker,
+                    "ts": base + start * 1e6,
+                    "dur": max(0.0, end - start) * 1e6,
+                }
+            )
+            if end > last_end:
+                last_end = end
+        span = makespan if makespan is not None else last_end
+        self._lane_cursor[pid] = base + span * 1e6
+
+    def _name_thread(self, pid: int, tid: Any, name: str) -> None:
+        self._named_threads.add((pid, tid))
+        self._events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": pid,
+                "tid": tid,
+                "ts": 0,
+                "args": {"name": name},
+            }
+        )
+
+    # --------------------------------------------------------------- export
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def events(self) -> list[dict[str, Any]]:
+        """The raw trace events recorded so far (metadata included)."""
+        return list(self._events)
+
+    def to_chrome_trace(self) -> dict[str, Any]:
+        """The JSON-object form of the Trace Event Format."""
+        meta = [
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": WALL_PID,
+                "tid": 0,
+                "ts": 0,
+                "args": {"name": "repro (wall clock)"},
+            },
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": SIM_PID,
+                "tid": 0,
+                "ts": 0,
+                "args": {"name": "simulated scheduler"},
+            },
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": WALL_PID,
+                "tid": 0,
+                "ts": 0,
+                "args": {"name": "main"},
+            },
+        ]
+        return {
+            "traceEvents": meta + self._events,
+            "displayTimeUnit": "ms",
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_chrome_trace(), default=_json_default)
+
+    def write(self, path: str) -> None:
+        """Write the trace to ``path`` as Chrome trace-event JSON."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+
+    def clear(self) -> None:
+        self._events.clear()
+        self._stack.clear()
+        self._lane_cursor.clear()
+        self._named_threads.clear()

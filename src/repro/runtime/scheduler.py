@@ -69,6 +69,13 @@ class ScheduleResult:
     critical_path: float
     busy_time: float  # summed task execution time (excl. idle)
     overhead_time: float
+    #: per-task ``(task_id, worker, start, end)`` intervals in simulated
+    #: seconds; populated only when ``record_timeline=True`` (tracing), so
+    #: the default path stays allocation-free.  Tasks run continuously from
+    #: launch to completion, so ``sum(end - start)`` equals ``busy_time``
+    #: and the trace exporter and :attr:`utilization` agree by
+    #: construction.
+    timeline: list[tuple[int, int, float, float]] | None = None
 
     @property
     def utilization(self) -> float:
@@ -77,19 +84,28 @@ class ScheduleResult:
         return self.busy_time / (self.makespan * self.n_workers)
 
 
-def simulate_schedule(graph: TaskGraph, spec: CPUSpec, n_workers: int) -> ScheduleResult:
+def simulate_schedule(
+    graph: TaskGraph,
+    spec: CPUSpec,
+    n_workers: int,
+    *,
+    record_timeline: bool = False,
+) -> ScheduleResult:
     """Simulate executing ``graph`` on ``n_workers`` cores of ``spec``.
 
     Ready tasks are assigned to idle workers greedily (a faithful-enough
     stand-in for randomized stealing at this granularity: both keep every
     worker busy whenever ready tasks exist, which is the property the
-    speedup depends on).
+    speedup depends on).  With ``record_timeline=True`` the result carries
+    every task's ``(task_id, worker, start, end)`` interval for trace
+    export.
     """
     if n_workers < 1:
         raise ValueError("n_workers must be >= 1")
     n = len(graph.tasks)
     if n == 0:
-        return ScheduleResult(0.0, n_workers, 0.0, 0.0, 0.0, 0.0)
+        return ScheduleResult(0.0, n_workers, 0.0, 0.0, 0.0, 0.0,
+                              timeline=[] if record_timeline else None)
 
     indeg = [0] * n
     dependents: dict[int, list[int]] = {}
@@ -117,6 +133,15 @@ def simulate_schedule(graph: TaskGraph, spec: CPUSpec, n_workers: int) -> Schedu
     per_task_overhead = spec.task_overhead_s
     done = 0
 
+    # timeline bookkeeping exists only when requested (tracing on)
+    timeline: list[tuple[int, int, float, float]] | None = None
+    free_workers: list[int] = []
+    task_worker: dict[int, int] = {}
+    task_start: dict[int, float] = {}
+    if record_timeline:
+        timeline = []
+        free_workers = list(range(n_workers - 1, -1, -1))
+
     def effective_rate() -> float:
         """FLOP rate applied to every running task under the roofline."""
         k = len(running)
@@ -135,6 +160,9 @@ def simulate_schedule(graph: TaskGraph, spec: CPUSpec, n_workers: int) -> Schedu
             running[tid] = remaining[tid]
             idle_workers -= 1
             overhead_time += per_task_overhead
+            if timeline is not None:
+                task_worker[tid] = free_workers.pop()
+                task_start[tid] = clock
         if not running:
             raise RuntimeError("deadlock: no running tasks but graph incomplete")
         rate = effective_rate()
@@ -154,6 +182,10 @@ def simulate_schedule(graph: TaskGraph, spec: CPUSpec, n_workers: int) -> Schedu
             del running[tid]
             idle_workers += 1
             done += 1
+            if timeline is not None:
+                worker = task_worker.pop(tid)
+                timeline.append((tid, worker, task_start.pop(tid), clock))
+                free_workers.append(worker)
             for nxt in dependents.get(tid, ()):
                 indeg[nxt] -= 1
                 if indeg[nxt] == 0:
@@ -167,4 +199,5 @@ def simulate_schedule(graph: TaskGraph, spec: CPUSpec, n_workers: int) -> Schedu
         critical_path=cp,
         busy_time=busy_time,
         overhead_time=overhead_time,
+        timeline=timeline,
     )

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.balance.config import BalancerConfig
 from repro.balance.controller import DynamicLoadBalancer
+from repro.costmodel.predictor import predict_times
 from repro.distributions.generators import ParticleSet
 from repro.fmm.evaluator import FMMSolver
 from repro.geometry.box import Box, bounding_box
@@ -29,6 +30,7 @@ from repro.kernels.base import Kernel
 from repro.kernels.direct import direct_evaluate
 from repro.machine.executor import HeterogeneousExecutor
 from repro.machine.spec import MachineSpec
+from repro.obs import NULL_TELEMETRY, Telemetry
 from repro.sim.integrators import LeapfrogIntegrator, reflect_into_box
 from repro.tree.cache import ListCache
 from repro.tree.octree import AdaptiveOctree
@@ -85,6 +87,7 @@ class Simulation:
         *,
         config: SimulationConfig | None = None,
         domain: Box | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.particles = particles
         self.kernel = kernel
@@ -96,9 +99,13 @@ class Simulation:
         if not bool(domain.contains(particles.positions).all()):
             raise ValueError("initial positions must lie inside the domain")
 
+        #: one bundle threads through executor, balancer, and cache
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         # one cache shared by the executor, solver, and the step loop: a
         # frozen-shape step (refit only) reuses its lists everywhere
         self.list_cache = ListCache()
+        if self.telemetry.enabled:
+            self.list_cache.bind_metrics(self.telemetry.metrics)
         self.executor = HeterogeneousExecutor(
             machine,
             order=self.config.order,
@@ -106,6 +113,7 @@ class Simulation:
             folded=self.config.folded,
             seed=self.config.seed,
             list_cache=self.list_cache,
+            telemetry=self.telemetry,
         )
         self.balancer = DynamicLoadBalancer(
             self.executor,
@@ -162,36 +170,54 @@ class Simulation:
 
     def step(self) -> StepRecord:
         cfg = self.config
-        lb_time = self._ensure_tree()
-        tree = self.tree
-        lists = self.list_cache.get(tree, folded=cfg.folded)
+        tracer = self.telemetry.tracer
+        with tracer.span("step", step=self.step_index, n=self.particles.n):
+            with tracer.span("tree-build", S=self.balancer.S):
+                lb_time = self._ensure_tree()
+                tree = self.tree
+                lists = self.list_cache.get(tree, folded=cfg.folded)
 
-        timing = self.executor.time_step(tree, lists)
+            # what the cost model expects this step to cost — recorded
+            # *before* the executor observes it, so drift is honest
+            predicted = None
+            if self.telemetry.enabled and self.balancer.coeffs.ready:
+                predicted = predict_times(lists.op_counts(), self.balancer.coeffs)
 
-        # physics: one leapfrog step with forces from the current tree
-        acc = None
-        if not self.integrator.primed:
-            acc = self._accelerations(tree, lists)
-            self.integrator.prime(acc)
-        new_pos = self.integrator.drift_positions(
-            self.particles.positions, self.particles.velocities
-        )
-        self.particles.positions[...] = new_pos
-        reflect_into_box(self.particles.positions, self.particles.velocities, self.domain)
-        # new accelerations on the moved bodies (same tree topology; ranges refit)
-        tree.points = self.particles.positions
-        tree.refit()
-        # refit kept the shape, so this lookup is a cache hit, not a rebuild
-        lists_after = (
-            self.list_cache.get(tree, folded=cfg.folded) if self.solver else None
-        )
-        acc_new = self._accelerations(tree, lists_after)
-        self.integrator.finish_step(self.particles.velocities, acc_new)
+            timing = self.executor.time_step(tree, lists)
 
-        outcome = self.balancer.end_of_step(tree, timing)
-        lb_time += outcome.lb_time
-        if outcome.rebuild_S is not None:
-            self._needs_rebuild = True
+            with tracer.span("physics"):
+                # physics: one leapfrog step with forces from the current tree
+                acc = None
+                if not self.integrator.primed:
+                    acc = self._accelerations(tree, lists)
+                    self.integrator.prime(acc)
+                new_pos = self.integrator.drift_positions(
+                    self.particles.positions, self.particles.velocities
+                )
+                self.particles.positions[...] = new_pos
+                reflect_into_box(
+                    self.particles.positions, self.particles.velocities, self.domain
+                )
+                # new accelerations on the moved bodies (same tree topology;
+                # ranges refit)
+                tree.points = self.particles.positions
+                tree.refit()
+                # refit kept the shape, so this lookup is a cache hit, not a
+                # rebuild
+                lists_after = (
+                    self.list_cache.get(tree, folded=cfg.folded) if self.solver else None
+                )
+                acc_new = self._accelerations(tree, lists_after)
+                self.integrator.finish_step(self.particles.velocities, acc_new)
+
+            with tracer.span("balancer", state=self.balancer.state.value):
+                outcome = self.balancer.end_of_step(tree, timing)
+            lb_time += outcome.lb_time
+            if outcome.rebuild_S is not None:
+                self._needs_rebuild = True
+
+            if self.telemetry.enabled:
+                self._record_step_telemetry(predicted, timing)
 
         rec = StepRecord(
             step=self.step_index,
@@ -217,6 +243,41 @@ class Simulation:
         )
         self.step_index += 1
         return rec
+
+    # ------------------------------------------------------------ telemetry
+    def _record_step_telemetry(self, predicted, timing) -> None:
+        """Feed one step into the drift tracker and headline metrics."""
+        tel = self.telemetry
+        tel.tracer.counter("S", self.balancer.S)
+        tel.tracer.counter(
+            "compute-time",
+            timing.compute_time,
+            cpu=timing.cpu_time,
+            gpu=timing.gpu_time,
+        )
+        tel.metrics.counter("sim_steps_total", "time steps executed").inc()
+        sample = tel.drift.observe(
+            self.step_index,
+            predicted=predicted,
+            observed_cpu=timing.cpu_time,
+            observed_gpu=timing.gpu_time,
+            coeffs=self.balancer.coeffs,
+        )
+        if sample is not None:
+            tel.metrics.histogram(
+                "costmodel_abs_residual",
+                "per-step |relative error| of the predicted max(T_CPU, T_GPU)",
+                buckets=(0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0),
+            ).observe(abs(sample.residual))
+            tel.metrics.gauge(
+                "costmodel_residual",
+                "signed relative error of the last step's prediction",
+            ).set(sample.residual)
+            tel.metrics.gauge(
+                "machine_imbalance_seconds",
+                "|T_CPU - T_GPU| of the last step",
+            ).set(sample.imbalance)
+            tel.tracer.counter("drift-residual", sample.residual)
 
     # ------------------------------------------------------------- summaries
     def summary(self) -> dict[str, float]:

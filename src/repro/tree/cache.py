@@ -44,6 +44,20 @@ class ListCache:
         self.hits = 0
         #: lookups that (re)built lists
         self.builds = 0
+        #: metrics counters, attached via :meth:`bind_metrics`
+        self._m_hits = None
+        self._m_builds = None
+
+    def bind_metrics(self, registry) -> None:
+        """Mirror ``hits``/``builds`` into counters on a
+        :class:`repro.obs.MetricsRegistry` (idempotent; existing totals are
+        not replayed — bind before the run starts)."""
+        self._m_hits = registry.counter(
+            "listcache_hits_total", "interaction-list lookups served from cache"
+        )
+        self._m_builds = registry.counter(
+            "listcache_builds_total", "interaction-list lookups that (re)built lists"
+        )
 
     def get(self, tree: AdaptiveOctree, *, folded: bool = True) -> InteractionLists:
         """Return valid lists for ``tree``, rebuilding only on shape change."""
@@ -55,9 +69,13 @@ class ListCache:
                 lists = getattr(tree, "_cached_lists", {}).get(bool(folded))
                 if lists is not None:
                     self.hits += 1
+                    if self._m_hits is not None:
+                        self._m_hits.inc()
                     return lists
         lists = self._builder(tree, folded=folded)
         self.builds += 1
+        if self._m_builds is not None:
+            self._m_builds.inc()
         if not hasattr(tree, "_cached_lists"):
             tree._cached_lists = {}
         tree._cached_lists[bool(folded)] = lists

@@ -1,0 +1,313 @@
+"""Tests for the telemetry subsystem (repro.obs)."""
+
+import json
+
+import pytest
+
+from repro.balance.config import BalancerConfig
+from repro.distributions.generators import compact_plummer
+from repro.kernels.laplace import GravityKernel
+from repro.machine.spec import system_a
+from repro.obs import (
+    NULL_TELEMETRY,
+    DriftTracker,
+    MetricsRegistry,
+    Telemetry,
+    Tracer,
+)
+from repro.obs.trace import _NULL_SPAN, SIM_PID, WALL_PID
+from repro.costmodel.predictor import TimePrediction
+from repro.sim.driver import Simulation, SimulationConfig
+
+
+# --------------------------------------------------------------------- tracer
+class TestTracer:
+    def test_span_records_complete_event(self):
+        clock = _FakeClock()
+        t = Tracer(clock=clock)
+        with t.span("outer", step=3):
+            clock.advance(2.0)
+        (ev,) = t.events
+        assert ev["ph"] == "X"
+        assert ev["name"] == "outer"
+        assert ev["pid"] == WALL_PID
+        assert ev["dur"] == pytest.approx(2e6)
+        assert ev["args"] == {"step": 3}
+
+    def test_span_nesting_and_timing(self):
+        clock = _FakeClock()
+        t = Tracer(clock=clock)
+        with t.span("parent"):
+            clock.advance(1.0)
+            with t.span("child"):
+                clock.advance(0.5)
+            clock.advance(1.0)
+        child, parent = t.events  # children close (and record) first
+        assert child["name"] == "child" and parent["name"] == "parent"
+        # child lies strictly inside the parent's [ts, ts + dur] window
+        assert parent["ts"] <= child["ts"]
+        assert child["ts"] + child["dur"] <= parent["ts"] + parent["dur"]
+        assert parent["dur"] == pytest.approx(2.5e6)
+        assert child["dur"] == pytest.approx(0.5e6)
+
+    def test_span_set_attaches_args(self):
+        t = Tracer(clock=_FakeClock())
+        with t.span("s") as span:
+            span.set(result=7)
+        assert t.events[0]["args"]["result"] == 7
+
+    def test_disabled_tracer_is_noop(self):
+        t = Tracer(enabled=False)
+        span = t.span("anything", heavy="args")
+        assert span is _NULL_SPAN  # shared singleton: no allocation
+        assert t.span("again") is span
+        with span:
+            span.set(x=1)
+        t.instant("event")
+        t.counter("S", 5)
+        t.add_worker_lanes([("t", 0, 0.0, 1.0)])
+        assert len(t) == 0
+
+    def test_counter_and_instant_events(self):
+        t = Tracer(clock=_FakeClock())
+        t.counter("S", 128, cpu=1.0)
+        t.instant("enforce_s", collapses=3)
+        counter, instant = t.events
+        assert counter["ph"] == "C"
+        assert counter["args"] == {"S": 128, "cpu": 1.0}
+        assert instant["ph"] == "i"
+        assert instant["args"] == {"collapses": 3}
+
+    def test_worker_lanes_layout(self):
+        t = Tracer(clock=_FakeClock())
+        t.add_worker_lanes(
+            [("a", 0, 0.0, 1.0), ("b", 1, 0.0, 0.5)], makespan=1.0
+        )
+        t.add_worker_lanes([("c", 0, 0.0, 2.0)], makespan=2.0)
+        lanes = [e for e in t.events if e["ph"] == "X"]
+        assert [e["name"] for e in lanes] == ["a", "b", "c"]
+        assert all(e["pid"] == SIM_PID for e in lanes)
+        # second batch starts after the first batch's makespan
+        assert lanes[2]["ts"] == pytest.approx(1e6)
+        # worker threads get metadata names exactly once
+        names = [e for e in t.events if e["ph"] == "M"]
+        assert {e["args"]["name"] for e in names} == {"worker-0", "worker-1"}
+
+    def test_chrome_trace_round_trips_through_json(self):
+        t = Tracer(clock=_FakeClock())
+        with t.span("step", step=0):
+            t.counter("S", 64)
+        doc = json.loads(t.to_json())
+        assert isinstance(doc["traceEvents"], list)
+        for ev in doc["traceEvents"]:
+            assert ev["ph"] in ("X", "C", "i", "M")
+            assert isinstance(ev["ts"], (int, float))
+            assert "pid" in ev and "tid" in ev
+
+    def test_write(self, tmp_path):
+        t = Tracer(clock=_FakeClock())
+        with t.span("s"):
+            pass
+        path = tmp_path / "trace.json"
+        t.write(str(path))
+        doc = json.loads(path.read_text())
+        assert any(e["name"] == "s" for e in doc["traceEvents"])
+
+
+# -------------------------------------------------------------------- metrics
+class TestMetrics:
+    def test_counter_monotonic(self):
+        reg = MetricsRegistry()
+        c = reg.counter("steps_total", "time steps")
+        c.inc()
+        c.inc(2)
+        assert c.value == 3
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_get_or_create_identity(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", labels={"op": "M2L"})
+        b = reg.counter("x", labels={"op": "M2L"})
+        c = reg.counter("x", labels={"op": "P2M"})
+        assert a is b and a is not c
+        with pytest.raises(ValueError):
+            reg.gauge("x", labels={"op": "M2L"})  # kind mismatch
+
+    def test_gauge(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("S")
+        g.set(128)
+        g.inc(2)
+        g.dec()
+        assert g.value == 129
+
+    def test_histogram_cumulative_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("t", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.bucket_counts == [1, 2, 3]
+        assert h.count == 4
+        assert h.sum == pytest.approx(55.55)
+
+    def test_prometheus_exposition_format(self):
+        reg = MetricsRegistry()
+        reg.counter("hits_total", "cache hits").inc(5)
+        reg.gauge("balancer_S", "leaf cap", labels={"mode": "full"}).set(64)
+        h = reg.histogram("step_seconds", "per-step", buckets=(0.5, 1.0))
+        h.observe(0.4)
+        h.observe(2.0)
+        text = reg.to_prometheus()
+        assert "# HELP hits_total cache hits" in text
+        assert "# TYPE hits_total counter" in text
+        assert "hits_total 5" in text
+        assert 'balancer_S{mode="full"} 64' in text
+        assert '# TYPE step_seconds histogram' in text
+        assert 'step_seconds_bucket{le="0.5"} 1' in text
+        assert 'step_seconds_bucket{le="+Inf"} 2' in text
+        assert "step_seconds_sum 2.4" in text
+        assert "step_seconds_count 2" in text
+
+    def test_snapshot_is_json_able(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = json.loads(json.dumps(reg.snapshot()))
+        assert snap["c"] == 1
+        assert snap["h"]["count"] == 1
+
+
+# ---------------------------------------------------------------------- drift
+class TestDrift:
+    def test_residual_sign(self):
+        d = DriftTracker()
+        s = d.observe(
+            0,
+            predicted=TimePrediction(cpu_time=0.9, gpu_time=0.5),
+            observed_cpu=1.0,
+            observed_gpu=0.4,
+        )
+        assert s.residual == pytest.approx(0.1)  # under-predicted by 10%
+        assert s.imbalance == pytest.approx(0.6)
+
+    def test_unpredicted_steps_counted(self):
+        d = DriftTracker()
+        assert d.observe(0, predicted=None, observed_cpu=1.0, observed_gpu=1.0) is None
+        assert d.unpredicted_steps == 1
+        assert len(d) == 0
+
+    def test_summary_and_eventlog(self):
+        d = DriftTracker()
+        for i in range(3):
+            d.observe(
+                i,
+                predicted=TimePrediction(cpu_time=1.0, gpu_time=0.0),
+                observed_cpu=2.0,
+                observed_gpu=0.0,
+            )
+        summary = d.summary()
+        assert summary["n_predicted_steps"] == 3
+        assert summary["mean_abs_residual"] == pytest.approx(0.5)
+        log = d.to_eventlog()
+        assert log.column("residual") == pytest.approx([0.5, 0.5, 0.5])
+
+
+# ------------------------------------------------------------ instrumentation
+def _run_instrumented(steps=20, n=800, **cfg_kwargs):
+    telemetry = Telemetry()
+    ps = compact_plummer(n, seed=0, total_mass=1.0, velocity_scale=1.5)
+    sim = Simulation(
+        ps,
+        GravityKernel(G=1.0, softening=1e-3),
+        system_a().with_resources(n_cores=6, n_gpus=2),
+        config=SimulationConfig(
+            dt=1e-4,
+            forces="direct",
+            strategy="full",
+            balancer=BalancerConfig(gap_threshold_frac=0.15, s_min=8, s_max=2048),
+            **cfg_kwargs,
+        ),
+        telemetry=telemetry,
+    )
+    sim.run(steps)
+    return sim, telemetry
+
+
+class TestInstrumentedSimulation:
+    @pytest.fixture(scope="class")
+    def run20(self):
+        return _run_instrumented(steps=20, n=800)
+
+    def test_step_spans_present(self, run20):
+        _, tel = run20
+        spans = [e for e in tel.tracer.events if e["ph"] == "X" and e["pid"] == WALL_PID]
+        names = [e["name"] for e in spans]
+        assert names.count("step") == 20
+        for required in ("tree-build", "far-field", "near-field", "physics", "balancer"):
+            assert required in names
+
+    def test_worker_lanes_present(self, run20):
+        _, tel = run20
+        lanes = [e for e in tel.tracer.events if e.get("pid") == SIM_PID and e["ph"] == "X"]
+        assert lanes
+        workers = {e["tid"] for e in lanes}
+        assert workers <= set(range(6))
+        # lanes never overlap within one worker
+        by_worker = {}
+        for e in sorted(lanes, key=lambda e: (e["tid"], e["ts"])):
+            prev_end = by_worker.get(e["tid"], 0.0)
+            assert e["ts"] >= prev_end - 1e-6
+            by_worker[e["tid"]] = e["ts"] + e["dur"]
+
+    def test_metrics_capture_the_loop(self, run20):
+        _, tel = run20
+        snap = tel.metrics.snapshot()
+        assert snap["sim_steps_total"] == 20
+        assert any(k.startswith("balancer_transitions_total") for k in snap)
+        assert snap["listcache_builds_total"] >= 1
+        assert snap["listcache_hits_total"] >= 1
+        assert any(k.startswith("fmm_op_coefficient_seconds") for k in snap)
+
+    def test_drift_produced_by_short_run(self, run20):
+        _, tel = run20
+        summary = tel.drift.summary()
+        assert summary["n_predicted_steps"] >= 10
+        # the §IV-D model should predict within tens of percent, not be junk
+        assert summary["mean_abs_residual"] < 0.5
+        assert tel.drift.coefficient_history  # trajectories were recorded
+
+    def test_trace_json_valid(self, run20, tmp_path):
+        _, tel = run20
+        path = tmp_path / "t.json"
+        tel.tracer.write(str(path))
+        doc = json.loads(path.read_text())
+        for ev in doc["traceEvents"]:
+            assert "ph" in ev and "ts" in ev and "pid" in ev and "tid" in ev
+
+    def test_disabled_telemetry_records_nothing(self):
+        before_drift = len(NULL_TELEMETRY.drift)
+        ps = compact_plummer(200, seed=0, total_mass=1.0, velocity_scale=1.5)
+        sim = Simulation(
+            ps,
+            GravityKernel(G=1.0, softening=1e-3),
+            system_a().with_resources(n_cores=4, n_gpus=2),
+            config=SimulationConfig(dt=1e-4, forces="direct", strategy="full"),
+        )
+        sim.run(2)
+        assert sim.telemetry is NULL_TELEMETRY
+        assert len(NULL_TELEMETRY.tracer) == 0
+        assert len(NULL_TELEMETRY.drift) == before_drift
+
+
+class _FakeClock:
+    """Deterministic clock for span-timing assertions."""
+
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+    def __call__(self) -> float:
+        return self.now

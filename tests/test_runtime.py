@@ -85,6 +85,49 @@ class TestScheduler:
         with pytest.raises(ValueError):
             simulate_schedule(_independent([1.0]), SPEC, 0)
 
+    def test_timeline_off_by_default(self):
+        res = simulate_schedule(_independent([1e9] * 4), SPEC, 2)
+        assert res.timeline is None
+
+    def test_timeline_records_every_task(self):
+        g = _chain([1e9, 2e9, 3e9])
+        res = simulate_schedule(g, SPEC, 4, record_timeline=True)
+        assert sorted(tid for tid, _, _, _ in res.timeline) == [0, 1, 2]
+        for _, worker, start, end in res.timeline:
+            assert 0 <= worker < 4
+            assert 0.0 <= start <= end <= res.makespan + 1e-9
+        # a chain serializes: intervals must not overlap
+        ordered = sorted(res.timeline, key=lambda t: t[2])
+        for (_, _, _, e0), (_, _, s1, _) in zip(ordered, ordered[1:]):
+            assert s1 >= e0 - 1e-9
+
+    def test_timeline_agrees_with_utilization(self):
+        """sum(end - start) over the timeline IS the busy time the
+        utilization property divides by — one source of truth."""
+        g = _independent([1e9, 2e9, 3e9, 4e9])
+        res = simulate_schedule(g, SPEC, 3, record_timeline=True)
+        lane_busy = sum(end - start for _, _, start, end in res.timeline)
+        assert lane_busy == pytest.approx(res.busy_time)
+        assert res.utilization == pytest.approx(
+            lane_busy / (res.makespan * res.n_workers)
+        )
+
+    def test_timeline_workers_never_double_booked(self):
+        g = _independent([1e9] * 10)
+        res = simulate_schedule(g, SPEC, 3, record_timeline=True)
+        by_worker: dict[int, list[tuple[float, float]]] = {}
+        for _, worker, start, end in res.timeline:
+            by_worker.setdefault(worker, []).append((start, end))
+        assert set(by_worker) <= set(range(3))
+        for intervals in by_worker.values():
+            intervals.sort()
+            for (_, e0), (s1, _) in zip(intervals, intervals[1:]):
+                assert s1 >= e0 - 1e-9
+
+    def test_empty_graph_timeline(self):
+        res = simulate_schedule(TaskGraph([]), SPEC, 2, record_timeline=True)
+        assert res.timeline == []
+
     @given(
         st.lists(st.floats(1e6, 1e9), min_size=1, max_size=30),
         st.integers(1, 8),

@@ -110,3 +110,47 @@ class TestEventLog:
         assert rec["x"] == 9
         assert rec.get("missing", -1) == -1
         assert len(log) == 1
+
+    def test_csv_quotes_special_characters(self):
+        """Regression: balancer action strings contain commas/quotes and
+        must survive RFC-4180 round-tripping."""
+        import csv
+        import io
+
+        log = EventLog()
+        log.add(step=0, actions='enforce_s, then "fgo" rounds=2', note="a\nb")
+        log.add(step=1, actions="plain")
+        text = log.to_csv()
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["step", "actions", "note"]
+        assert rows[1] == ["0", 'enforce_s, then "fgo" rounds=2', "a\nb"]
+        assert rows[2] == ["1", "plain", ""]
+
+    def test_csv_quotes_header_keys(self):
+        import csv
+        import io
+
+        log = EventLog()
+        log.add(**{"weird,key": 1})
+        rows = list(csv.reader(io.StringIO(log.to_csv())))
+        assert rows[0] == ["weird,key"]
+
+    def test_jsonl_round_trips(self):
+        import json
+
+        log = EventLog()
+        log.add(step=0, t=1.5, actions="a;b")
+        log.add(step=1, extra=np.float64(2.0))
+        lines = log.to_jsonl().splitlines()
+        assert len(lines) == 2
+        first, second = (json.loads(line) for line in lines)
+        assert first == {"step": 0, "t": 1.5, "actions": "a;b"}
+        # rows keep their own field sets; numpy scalars are coerced
+        assert second == {"step": 1, "extra": 2.0}
+
+    def test_jsonl_key_filter(self):
+        import json
+
+        log = EventLog()
+        log.add(a=1, b=2)
+        assert json.loads(log.to_jsonl(keys=["b"])) == {"b": 2}
