@@ -16,18 +16,24 @@ take the best of several repetitions.
 """
 
 import gc
+import json
 import time
+from pathlib import Path
 
 import numpy as np
 
 from repro.balance.config import BalancerConfig
 from repro.distributions.generators import compact_plummer, plummer
+from repro.expansions.cartesian import CartesianExpansion
+from repro.fmm.multipass import laplace_far_field, laplace_far_field_scalar
 from repro.fmm.nearfield import build_near_field_plan, evaluate_near_field
 from repro.kernels import GravityKernel, LaplaceKernel
 from repro.machine.spec import system_a
 from repro.sim.driver import Simulation, SimulationConfig
 from repro.tree import AdaptiveOctree, build_interaction_lists
 from repro.tree.lists import build_interaction_lists_scalar
+
+_BENCH_FARFIELD = Path(__file__).resolve().parents[1] / "BENCH_farfield.json"
 
 
 def _best_time(fn, rounds):
@@ -114,3 +120,59 @@ def test_bench_near_field_throughput(benchmark):
         f"({plan.n_groups} source groups)"
     )
     assert plan.total_pairs > 0
+
+
+def test_bench_far_field_speedup(benchmark):
+    """Batched far-field engine >= 3x over the per-node oracle (50k bodies),
+    bit-level-equivalent results, zero geometry rebuilds on a re-solve."""
+    n = 50_000
+    pts = plummer(n, seed=3).positions
+    tree = AdaptiveOctree(pts, S=32)
+    lists = build_interaction_lists(tree, folded=True)
+    rng = np.random.default_rng(3)
+    q = rng.uniform(-1, 1, n)
+    exp = CartesianExpansion(4)
+
+    run = lambda: laplace_far_field(tree, lists, exp, charges=q)  # noqa: E731
+    pot, _ = run()  # warm the geometry/body-plan/basis caches
+    builds_after_warmup = lists.farfield_geometry_stats["builds"]
+
+    batched_t = _best_time(run, rounds=5)
+    scalar_t = _best_time(
+        lambda: laplace_far_field_scalar(tree, lists, exp, charges=q), rounds=2
+    )
+    ref, _ = laplace_far_field_scalar(tree, lists, exp, charges=q)
+    err = float(np.abs(pot - ref).max() / max(1.0, np.abs(ref).max()))
+    speedup = scalar_t / batched_t
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+    # frozen shape: every timed re-solve must have hit the geometry cache
+    assert lists.farfield_geometry_stats["builds"] == builds_after_warmup == 1
+
+    record = {
+        "bench": "far_field_50k_plummer",
+        "n": n,
+        "S": 32,
+        "order": exp.order,
+        "backend": exp.backend,
+        "batched_ms": round(batched_t * 1e3, 3),
+        "scalar_ms": round(scalar_t * 1e3, 3),
+        "speedup": round(speedup, 2),
+        "max_rel_err": err,
+        "geometry_builds": lists.farfield_geometry_stats["builds"],
+        "geometry_hits": lists.farfield_geometry_stats["hits"],
+    }
+    history = []
+    if _BENCH_FARFIELD.exists():
+        history = json.loads(_BENCH_FARFIELD.read_text())
+    history.append(record)
+    _BENCH_FARFIELD.write_text(json.dumps(history, indent=2) + "\n")
+
+    print()
+    print(
+        f"far field, 50k plummer S=32 order=4: batched {batched_t * 1e3:.1f} ms, "
+        f"scalar {scalar_t * 1e3:.1f} ms, speedup {speedup:.2f}x, "
+        f"max rel err {err:.2e}"
+    )
+    assert err <= 1e-12, f"batched far field drifted from oracle: {err:.2e}"
+    assert speedup >= 3.0, f"batched far field only {speedup:.2f}x over scalar"

@@ -83,6 +83,91 @@ class CartesianExpansion:
             self._shift_cache[key] = mat
         return mat
 
+    # ---------------------------------------------------- per-body bases
+    # Row bases for the batched endpoint operations of the far-field
+    # engine.  ``rel = x - center`` throughout; every basis B satisfies a
+    # sum rule against the matching per-node operator:
+    #   p2m:  M = sum_i q_i B_i          l2p:  phi_i = B_i . L
+    #   p2l:  L = sum_i q_i B_i          m2p:  phi_i = B_i . M
+    def p2m_basis(self, rel: np.ndarray) -> np.ndarray:
+        return self.mis.powers(-np.atleast_2d(rel))
+
+    def l2p_basis(self, rel: np.ndarray) -> np.ndarray:
+        return self.mis.powers(np.atleast_2d(rel))
+
+    def p2l_basis(self, rel: np.ndarray) -> np.ndarray:
+        return scaled_derivative_tensors(-np.atleast_2d(rel), self.order)
+
+    def m2p_basis(self, rel: np.ndarray) -> np.ndarray:
+        return scaled_derivative_tensors(np.atleast_2d(rel), self.order)
+
+    def m2p_grad_basis(self, rel: np.ndarray) -> np.ndarray:
+        return scaled_derivative_tensors(np.atleast_2d(rel), self.order + 1)
+
+    def p2m_dipole_rows(self, rel: np.ndarray, moments: np.ndarray, ptr) -> np.ndarray:
+        """Per-body dipole P2M rows: summing a group's rows gives
+        :meth:`p2m_dipole` of that group (``ptr`` is unused — the Cartesian
+        dipole operators are exact, not a two-charge limit)."""
+        P = self.mis.powers(-np.atleast_2d(rel))
+        p = np.atleast_2d(moments)
+        rows = np.zeros_like(P)
+        for k, (src, dst, coef) in enumerate(self.mis.gradient_tables()):
+            rows[:, src] += (-coef)[None, :] * p[:, k : k + 1] * P[:, dst]
+        return rows
+
+    def p2l_dipole_rows(self, rel: np.ndarray, moments: np.ndarray, ptr) -> np.ndarray:
+        """Per-body dipole P2L rows (group sums reproduce :meth:`p2l_dipole`)."""
+        Bbig = scaled_derivative_tensors(-np.atleast_2d(rel), self.order + 1)
+        p = np.atleast_2d(moments)
+        beta = self.mis.indices
+        rows = np.zeros((Bbig.shape[0], self.mis.n))
+        for k, (self_idx, raised_idx) in enumerate(self.mis.raise_tables()):
+            coef = (beta[self_idx, k] + 1).astype(float)
+            rows[:, self_idx] += -coef[None, :] * p[:, k : k + 1] * Bbig[:, raised_idx]
+        return rows
+
+    # -------------------------------------------------- geometry-class ops
+    # Row-applied dense operators for one *geometry class* (a fixed shift
+    # or M2L displacement, of which an octree level has only a handful);
+    # ``out_rows = in_rows @ A``.  The far-field engine applies one matmul
+    # per class instead of one operator per pair.
+    def m2m_class_operator(self, shift: np.ndarray) -> np.ndarray:
+        return np.ascontiguousarray(self._m2m_matrix(shift).T)
+
+    def l2l_class_operator(self, shift: np.ndarray) -> np.ndarray:
+        return np.ascontiguousarray(self._l2l_matrix(shift).T)
+
+    def m2l_class_operator(self, displacement: np.ndarray) -> np.ndarray:
+        """Dense M2L for one displacement: A[a, b] = C[a, b] * B[idx[a, b]]."""
+        idx, coef = self.mis.m2l_tables()
+        B = scaled_derivative_tensors(
+            np.asarray(displacement, dtype=float).reshape(1, 3), 2 * self.order
+        )[0]
+        return B[idx] * coef
+
+    def l2p_gradient_matrices(self) -> tuple[np.ndarray, ...]:
+        """Matrices A_k turning locals into per-axis derivative coefficient
+        vectors: ``w_k = local @ A_k`` with ``grad[:, k] = P @ w_k`` — the
+        batched form of the scatter in :meth:`l2p_gradient`."""
+        mats = []
+        for src, dst, coef in self.mis.gradient_tables():
+            A = np.zeros((self.mis.n, self.mis.n))
+            A[src, dst] = coef
+            mats.append(A)
+        return tuple(mats)
+
+    def m2p_gradient_matrices(self) -> tuple[np.ndarray, ...]:
+        """Matrices A_k into the order+1 derivative basis: ``g_k = moments
+        @ A_k`` with ``grad[:, k] = B_big @ g_k`` (cf. :meth:`m2p_gradient`)."""
+        alpha = self.mis.indices
+        n_big = self.mis_plus.n
+        mats = []
+        for k, (self_idx, raised_idx) in enumerate(self.mis.raise_tables()):
+            A = np.zeros((self.mis.n, n_big))
+            A[self_idx, raised_idx] = (alpha[self_idx, k] + 1).astype(float)
+            mats.append(A)
+        return tuple(mats)
+
     # ------------------------------------------------------------------ M2L
     def m2l(self, moments: np.ndarray, displacement: np.ndarray) -> np.ndarray:
         """Convert one multipole to a local expansion.

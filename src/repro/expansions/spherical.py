@@ -107,31 +107,32 @@ def _solid_tables(vectors: np.ndarray, p: int) -> tuple[np.ndarray, np.ndarray]:
     """(R, I) tables: complex arrays of shape (n_vectors, (p+1)^2).
 
     I is only valid for nonzero vectors; callers evaluating I pass
-    well-separated displacements.
+    well-separated displacements.  Fully vectorized over both the points
+    *and* the (p+1)^2 coefficients: the per-(n, m) assembly is three
+    fancy-indexed gathers (Legendre row, azimuthal phase, radial power)
+    combined elementwise.
     """
     v = np.atleast_2d(np.asarray(vectors, dtype=float))
     rho, ct, st, phi = _spherical_coords(v)
-    P = _legendre_table(ct, p, st)
+    P = _legendre_table(ct, p, st)  # (p+1, p+1, npts)
     ns, ms, _ = _nm_index(p)
     r_sc, i_sc, mirror = _norm_factors(p)
-    npts = v.shape[0]
+    ams = np.abs(ms)
     eim = np.exp(1j * np.outer(phi, np.arange(0, p + 1)))
-    with np.errstate(divide="ignore"):
-        log_rho = np.where(rho > 0, rho, 1.0)
-    rho_n = log_rho[:, None] ** np.arange(0, p + 1)[None, :]  # (npts, p+1)
+    rho_safe = np.where(rho > 0, rho, 1.0)
+    rho_n = rho_safe[:, None] ** np.arange(0, p + 1)[None, :]  # (npts, p+1)
     rho_zero = rho == 0.0
-    with np.errstate(divide="ignore"):
-        rho_inv = 1.0 / np.where(rho_zero, 1.0, rho)
+    rho_inv = 1.0 / np.where(rho_zero, 1.0, rho)
     rho_inv_n1 = rho_inv[:, None] ** (np.arange(0, p + 1)[None, :] + 1.0)
-    R = np.empty((npts, len(ns)), dtype=complex)
-    I = np.empty((npts, len(ns)), dtype=complex)
-    for j, (n, m) in enumerate(zip(ns, ms)):
-        am = abs(m)
-        base = P[n, am] * (eim[:, am] if m >= 0 else np.conj(eim[:, am]))
-        if m < 0:
-            base = base * mirror[j]
-        R[:, j] = r_sc[j] * base * rho_n[:, n]
-        I[:, j] = i_sc[j] * base * rho_inv_n1[:, n]
+    # phase column per coefficient: e^{i|m|phi} for m >= 0, its conjugate
+    # times the (-1)^{|m|} mirror sign for m < 0
+    E = eim[:, ams]
+    neg = ms < 0
+    if np.any(neg):
+        E = np.where(neg[None, :], np.conj(E) * mirror[None, :], E)
+    base = P[ns, ams].T * E  # (npts, n_coeffs)
+    R = (r_sc[None, :] * base) * rho_n[:, ns]
+    I = (i_sc[None, :] * base) * rho_inv_n1[:, ns]
     if np.any(rho_zero):
         # R is well defined at 0 (only n=0 survives); I is singular there.
         R[rho_zero] = 0.0
@@ -188,6 +189,83 @@ class SphericalExpansion:
         out = np.zeros(self.n_coeffs, dtype=complex)
         np.add.at(out, out_idx, Rt[r_idx] * moments[in_idx])
         return out
+
+    # ---------------------------------------------------- per-body bases
+    # Row bases for the batched endpoint operations of the far-field
+    # engine (``rel = x - center``): summing/dotting rows reproduces the
+    # per-node operators above.
+    def p2m_basis(self, rel: np.ndarray) -> np.ndarray:
+        return np.conj(_regular_table(np.atleast_2d(rel), self.order))
+
+    def l2p_basis(self, rel: np.ndarray) -> np.ndarray:
+        # identical to the P2M rows: both sides use conj(R_n^m(rel))
+        return np.conj(_regular_table(np.atleast_2d(rel), self.order))
+
+    def p2l_basis(self, rel: np.ndarray) -> np.ndarray:
+        signs = (-1.0) ** self.ns
+        return signs[None, :] * _irregular_table(-np.atleast_2d(rel), self.order)
+
+    def m2p_basis(self, rel: np.ndarray) -> np.ndarray:
+        return _irregular_table(np.atleast_2d(rel), self.order)
+
+    def m2p_grad_basis(self, rel: np.ndarray) -> np.ndarray:
+        return _irregular_table(np.atleast_2d(rel), self.order + 1)
+
+    def p2m_dipole_rows(self, rel, moments, ptr) -> np.ndarray:
+        """Per-body dipole P2M rows; group sums over the CSR segments of
+        ``ptr`` reproduce :meth:`p2m_dipole` of each group (same two-charge
+        limit, with the finite-difference step chosen per group exactly as
+        :func:`_dipole_limit` does per call)."""
+        return _dipole_limit_rows(self.p2m_basis, rel, moments, ptr, self.n_coeffs)
+
+    def p2l_dipole_rows(self, rel, moments, ptr) -> np.ndarray:
+        """Per-body dipole P2L rows (group sums reproduce :meth:`p2l_dipole`)."""
+        return _dipole_limit_rows(self.p2l_basis, rel, moments, ptr, self.n_coeffs)
+
+    # -------------------------------------------------- geometry-class ops
+    # An octree quantizes geometry: per level there are <= 8 distinct
+    # parent<->child offsets and a bounded family of well-separated M2L
+    # displacements.  These builders materialize the linear operator of one
+    # such *class* as a dense row-applied matrix (``out_rows = in_rows @ A``)
+    # so the far-field engine can translate every pair of a class with one
+    # matmul.  All three are exact reshapes of the flattened addition-
+    # theorem tables used by the per-pair methods above.
+    def m2m_class_operator(self, shift) -> np.ndarray:
+        """Dense row-applied M2M for one fixed ``shift = c_new - c_old``."""
+        t = -np.asarray(shift, dtype=float).reshape(1, 3)
+        Rt = np.conj(_regular_table(t, self.order)[0])
+        out_idx, in_idx, r_idx = self._m2m_table
+        A = np.zeros((self.n_coeffs, self.n_coeffs), dtype=complex)
+        np.add.at(A, (in_idx, out_idx), Rt[r_idx])
+        return A
+
+    def l2l_class_operator(self, shift) -> np.ndarray:
+        """Dense row-applied L2L for one fixed ``shift = z_new - z_old``."""
+        t = np.asarray(shift, dtype=float).reshape(1, 3)
+        Rt = np.conj(_regular_table(t, self.order)[0])
+        out_idx, in_idx, r_idx = self._l2l_table
+        A = np.zeros((self.n_coeffs, self.n_coeffs), dtype=complex)
+        np.add.at(A, (in_idx, out_idx), Rt[r_idx])
+        return A
+
+    def m2l_class_operator(self, displacement) -> np.ndarray:
+        """Dense row-applied M2L for one fixed displacement ``z - c``."""
+        d = np.asarray(displacement, dtype=float).reshape(1, 3)
+        I = _irregular_table(d, 2 * self.order)[0]
+        out_idx, in_idx, i_idx, sign = self._m2l_table
+        A = np.zeros((self.n_coeffs, self.n_coeffs), dtype=complex)
+        np.add.at(A, (in_idx, out_idx), sign * I[i_idx])
+        return A
+
+    def l2p_gradient_matrices(self) -> tuple[np.ndarray, ...]:
+        """Row-applied gradient maps: ``G_k = locals @ A_k`` reproduces
+        :func:`_regular_gradient_coeffs` for a whole batch of locals."""
+        return _regular_gradient_matrices(self.order)
+
+    def m2p_gradient_matrices(self) -> tuple[np.ndarray, ...]:
+        """Row-applied maps into the order+1 irregular basis:
+        ``G_k = moments @ A_k`` reproduces :func:`_irregular_gradient_coeffs`."""
+        return _irregular_gradient_matrices(self.order)
 
     # ------------------------------------------------------------------ M2L
     def m2l(self, moments, displacement) -> np.ndarray:
@@ -357,6 +435,38 @@ def _dipole_limit(p2x, points, moments, center, n_coeffs):
     return plus + minus
 
 
+def _dipole_limit_rows(basis_fn, rel, moments, ptr, n_coeffs) -> np.ndarray:
+    """Per-body rows of the two-charge dipole limit.
+
+    ``ptr`` is the CSR pointer partitioning the rows into groups; the
+    finite-difference step is chosen *per group* from the kept (nonzero
+    moment) bodies, bit-for-bit matching what :func:`_dipole_limit`
+    computes when handed that group alone — so segment sums of the result
+    equal the per-group scalar operators.
+    """
+    rel = np.atleast_2d(np.asarray(rel, dtype=float))
+    p = np.atleast_2d(np.asarray(moments, dtype=float))
+    ptr = np.asarray(ptr, dtype=np.int64)
+    n_groups = ptr.size - 1
+    gid = np.repeat(np.arange(n_groups), np.diff(ptr))
+    rows = np.zeros((rel.shape[0], n_coeffs), dtype=complex)
+    norm = np.linalg.norm(p, axis=1)
+    keep = norm > 0
+    if not np.any(keep):
+        return rows
+    r = np.linalg.norm(rel, axis=1)
+    scale = np.full(n_groups, 1e-3)
+    np.maximum.at(scale, gid[keep], r[keep])
+    h = 1e-5 * np.maximum(scale, 1e-12)
+    hb = h[gid[keep]][:, None]
+    unit = p[keep] / norm[keep][:, None]
+    w = (norm[keep] / (2.0 * hb[:, 0]))[:, None]
+    plus = basis_fn(rel[keep] + hb * unit)
+    minus = basis_fn(rel[keep] - hb * unit)
+    rows[keep] = w * (plus - minus)
+    return rows
+
+
 def _regular_gradient_coeffs(p: int, local: np.ndarray) -> list[np.ndarray]:
     """Coefficient vectors G_k with grad_k phi = Re sum G_k conj(R).
 
@@ -412,6 +522,33 @@ def _irregular_gradient_coeffs(p: int, moments: np.ndarray) -> list[np.ndarray]:
         gy[dn] += -1j * M / 2.0
         gz[pos_big[(n + 1, m)]] -= M
     return [gx, gy, gz]
+
+
+@lru_cache(maxsize=None)
+def _regular_gradient_matrices(p: int) -> tuple[np.ndarray, ...]:
+    """Matrices A_k with ``_regular_gradient_coeffs(p, L)[k] == L @ A_k``."""
+    n = (p + 1) ** 2
+    mats = tuple(np.zeros((n, n), dtype=complex) for _ in range(3))
+    eye = np.eye(n)
+    for j in range(n):
+        gx, gy, gz = _regular_gradient_coeffs(p, eye[j])
+        for A, g in zip(mats, (gx, gy, gz)):
+            A[j] = g
+    return mats
+
+
+@lru_cache(maxsize=None)
+def _irregular_gradient_matrices(p: int) -> tuple[np.ndarray, ...]:
+    """Matrices A_k with ``_irregular_gradient_coeffs(p, M)[k] == M @ A_k``."""
+    n = (p + 1) ** 2
+    big = (p + 2) ** 2
+    mats = tuple(np.zeros((n, big), dtype=complex) for _ in range(3))
+    eye = np.eye(n)
+    for j in range(n):
+        gx, gy, gz = _irregular_gradient_coeffs(p, eye[j])
+        for A, g in zip(mats, (gx, gy, gz)):
+            A[j] = g
+    return mats
 
 
 def _central_difference(f, targets, rel_h: float = 1e-6):

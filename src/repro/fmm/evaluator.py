@@ -26,6 +26,7 @@ from repro.expansions.cartesian import CartesianExpansion
 from repro.fmm.multipass import laplace_far_field
 from repro.fmm.nearfield import evaluate_near_field
 from repro.kernels.base import Kernel
+from repro.obs import NULL_TELEMETRY, Telemetry
 from repro.tree.cache import ListCache
 from repro.tree.lists import InteractionLists
 from repro.tree.octree import AdaptiveOctree
@@ -57,6 +58,7 @@ class FMMSolver:
         expansion=None,
         folded: bool = True,
         list_cache: ListCache | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.kernel = kernel
         self.expansion = expansion if expansion is not None else CartesianExpansion(order)
@@ -66,6 +68,8 @@ class FMMSolver:
         #: on a frozen-shape tree (the time-stepping loop) skip list builds;
         #: pass a shared cache to pool entries with an executor/balancer
         self.list_cache = list_cache if list_cache is not None else ListCache()
+        #: per-op far-field spans go here (no-op bundle by default)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
 
     # ----------------------------------------------------------------- solve
     def solve(
@@ -128,6 +132,7 @@ class FMMSolver:
             charges=q,
             gradient=want_gradient,
             potential=want_potential,
+            tracer=self.telemetry.tracer,
         )
 
     # ------------------------------------------------------------ near field

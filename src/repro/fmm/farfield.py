@@ -1,0 +1,422 @@
+"""Vectorized Laplace far-field engine (geometry-class batched sweeps).
+
+The scalar sweep in :mod:`repro.fmm.multipass` applies one translation
+operator per node or pair.  This module exploits the observation (Agullo
+et al.; Goude & Engblom) that octree geometry is *quantized*: per level
+there are at most 8 distinct parent<->child offsets and a bounded family
+of well-separated M2L displacements, so translation operators fall into a
+small number of **geometry classes** whose dense operator can be built
+once and applied to every member pair with a single matmul over a dense
+``(n_nodes, n_coeffs)`` coefficient array.
+
+The engine splits per-solve state into three cached layers, all memoized
+on the :class:`~repro.tree.lists.InteractionLists` via ``derived_cache``:
+
+* :class:`FarFieldGeometry` (``structure_generation`` stamp) — node-row
+  layout, shift/displacement classes with their dense operators, W/X pair
+  rows.  Depends only on the tree *shape*: free across frozen-shape time
+  steps and refits.
+* :class:`LeafBodyPlan` (``generation`` stamp) — CSR body rows per
+  effective leaf with body-relative coordinates.  Rebuilt on refit.
+* per-backend leaf basis tables (``generation`` stamp) — the P2M/L2P row
+  bases over the body plan, shared by every far-field pass of a solve
+  (the composite Stokeslet solver runs seven).
+
+:func:`laplace_far_field` is a drop-in replacement for the scalar sweep
+(kept as ``laplace_far_field_scalar``, the equivalence oracle); it also
+accepts a ``tracer`` and emits one span per FMM operation whose
+``applications`` argument follows the cost-model unit conventions of
+:meth:`InteractionLists.op_counts`, keeping ``C_op = time/applications``
+calibration meaningful on the batched path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tree.lists import InteractionLists
+from repro.tree.octree import AdaptiveOctree
+
+__all__ = ["FarFieldGeometry", "LeafBodyPlan", "far_field_geometry", "laplace_far_field"]
+
+
+# --------------------------------------------------------------------------
+# small CSR helpers
+# --------------------------------------------------------------------------
+
+
+def _segment_sum(rows: np.ndarray, ptr: np.ndarray) -> np.ndarray:
+    """Sum ``rows`` over the CSR segments of ``ptr`` -> (n_segments, ...).
+
+    ``np.add.reduceat`` mishandles empty segments (it returns the element
+    at the start index instead of zero), so reduce only at the starts of
+    nonempty segments and scatter the partial sums back.
+    """
+    n_seg = ptr.size - 1
+    out = np.zeros((n_seg,) + rows.shape[1:], dtype=rows.dtype)
+    counts = np.diff(ptr)
+    nonempty = np.nonzero(counts > 0)[0]
+    if nonempty.size:
+        out[nonempty] = np.add.reduceat(rows, ptr[nonempty], axis=0)
+    return out
+
+
+def _expand_segments(ptr: np.ndarray, take: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Positions of the CSR rows of each segment in ``take``, concatenated.
+
+    Returns ``(positions, counts)`` where ``positions`` indexes the flat
+    row arrays that ``ptr`` partitions.
+    """
+    counts = ptr[take + 1] - ptr[take]
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), counts
+    starts = np.repeat(ptr[take], counts)
+    offset = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+    return starts + offset, counts
+
+
+def _flatten_pair_dict(d: dict[int, list[int]]) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten ``{owner: [values]}`` into aligned (owners, values) arrays."""
+    owners, values = [], []
+    for k, vs in d.items():
+        if vs:
+            owners.append(np.full(len(vs), k, dtype=np.int64))
+            values.append(np.asarray(vs, dtype=np.int64))
+    if not owners:
+        e = np.empty(0, dtype=np.int64)
+        return e, e
+    return np.concatenate(owners), np.concatenate(values)
+
+
+def _class_segments(keys: np.ndarray) -> list[np.ndarray]:
+    """Index arrays grouping equal values of integer ``keys``."""
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    bounds = np.nonzero(np.diff(sorted_keys))[0] + 1
+    starts = np.concatenate(([0], bounds))
+    ends = np.concatenate((bounds, [keys.size]))
+    return [order[lo:hi] for lo, hi in zip(starts, ends)]
+
+
+def _cache_stats(lists: InteractionLists, attr: str) -> dict[str, int]:
+    stats = getattr(lists, attr, None)
+    if stats is None:
+        stats = {"builds": 0, "hits": 0}
+        setattr(lists, attr, stats)
+    return stats
+
+
+# --------------------------------------------------------------------------
+# cached geometry layer (structure_generation stamp)
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class FarFieldGeometry:
+    """Shape-only batched-sweep artifacts for one (backend, order).
+
+    Rows index the effective-node preorder; every *class* holds aligned
+    source/target row arrays plus the dense row-applied operator shared by
+    all its pairs (``out_rows += in_rows @ op``).  Within one class each
+    target row appears at most once, so plain fancy ``+=`` is scatter-safe.
+    """
+
+    eff_rows: np.ndarray  # (n_eff,) node ids, preorder
+    centers: np.ndarray  # (n_eff, 3)
+    leaf_rows: np.ndarray  # rows of effective leaves, preorder
+    leaf_pos: np.ndarray  # (n_eff,) ordinal among leaves, -1 for internal
+    up_classes: list  # [(child_rows, parent_rows, op)], deepest level first
+    down_classes: list  # [(parent_rows, child_rows, op)], shallowest first
+    m2l_classes: list  # [(src_rows, tgt_rows, op)]
+    n_shifts: int  # total parent<->child shifts (M2M = L2L count)
+    n_m2l: int  # total V-list pairs
+    w_tgt_rows: np.ndarray  # W pairs: target-leaf row per pair
+    w_src_rows: np.ndarray  # W pairs: source-node row per pair
+    x_recv_rows: np.ndarray  # X pairs: receiving-node row per pair
+    x_src_rows: np.ndarray  # X pairs: source-leaf row per pair
+
+
+def far_field_geometry(
+    tree: AdaptiveOctree, lists: InteractionLists, expansion
+) -> FarFieldGeometry:
+    """Build (or fetch) the geometry layer for ``expansion``'s class ops.
+
+    Memoized per (backend, order) with the ``structure_generation`` stamp;
+    build/hit counters accumulate in ``lists.farfield_geometry_stats``.
+    """
+    key = f"farfield_geometry:{expansion.backend}:{expansion.order}"
+    cached, store = lists.derived_cache(key, structural=True)
+    stats = _cache_stats(lists, "farfield_geometry_stats")
+    if cached is not None:
+        stats["hits"] += 1
+        return cached
+    stats["builds"] += 1
+
+    nodes = tree.nodes
+    eff = tree.effective_nodes()
+    n_eff = len(eff)
+    eff_rows = np.asarray(eff, dtype=np.int64)
+    id2row = np.full(len(nodes), -1, dtype=np.int64)
+    id2row[eff_rows] = np.arange(n_eff)
+    centers = np.array([nodes[i].center for i in eff], dtype=float)
+    levels = np.array([nodes[i].level for i in eff], dtype=np.int64)
+    is_leaf = np.array([nodes[i].is_leaf for i in eff], dtype=bool)
+    leaf_rows = np.nonzero(is_leaf)[0]
+    leaf_pos = np.full(n_eff, -1, dtype=np.int64)
+    leaf_pos[leaf_rows] = np.arange(leaf_rows.size)
+    parent_row = np.array(
+        [id2row[nodes[i].parent] if nodes[i].parent >= 0 else -1 for i in eff],
+        dtype=np.int64,
+    )
+
+    # ---- parent<->child shift classes: (level, octant) -> <= 8 per level
+    child_rows = np.nonzero(parent_row >= 0)[0]
+    up_classes: list = []
+    down_classes: list = []
+    if child_rows.size:
+        prow = parent_row[child_rows]
+        off = centers[child_rows] - centers[prow]
+        octant = (
+            (off[:, 0] > 0).astype(np.int64)
+            | ((off[:, 1] > 0).astype(np.int64) << 1)
+            | ((off[:, 2] > 0).astype(np.int64) << 2)
+        )
+        segs = []
+        for sel in _class_segments(levels[child_rows] * 8 + octant):
+            c = child_rows[sel]
+            segs.append((int(levels[c[0]]), c, parent_row[c]))
+        for lvl, c, p in sorted(segs, key=lambda s: -s[0]):
+            up_classes.append((c, p, expansion.m2m_class_operator(centers[p[0]] - centers[c[0]])))
+        for lvl, c, p in sorted(segs, key=lambda s: s[0]):
+            down_classes.append(
+                (p, c, expansion.l2l_class_operator(centers[c[0]] - centers[p[0]]))
+            )
+
+    # ---- M2L displacement classes: quantize center offsets in units of
+    # the target level's cell size (V-list pairs are same-level, offsets
+    # land on a +-3 integer grid; the +-8 headroom keys any variant).
+    tgt_ids, src_ids = _flatten_pair_dict(lists.v_list)
+    m2l_classes: list = []
+    if tgt_ids.size:
+        trow = id2row[tgt_ids]
+        srow = id2row[src_ids]
+        d = centers[trow] - centers[srow]
+        step = tree.root_box.size / 2.0 ** levels[trow]
+        k = np.rint(d / step[:, None]).astype(np.int64)
+        keys = (
+            ((levels[trow] * 17 + k[:, 0] + 8) * 17 + k[:, 1] + 8) * 17 + k[:, 2] + 8
+        )
+        for sel in _class_segments(keys):
+            rep = sel[0]
+            op = expansion.m2l_class_operator(centers[trow[rep]] - centers[srow[rep]])
+            m2l_classes.append((srow[sel], trow[sel], op))
+
+    w_tgt_ids, w_src_ids = _flatten_pair_dict(lists.w_list)
+    x_recv_ids, x_src_ids = _flatten_pair_dict(lists.x_list)
+
+    return store(
+        FarFieldGeometry(
+            eff_rows=eff_rows,
+            centers=centers,
+            leaf_rows=leaf_rows,
+            leaf_pos=leaf_pos,
+            up_classes=up_classes,
+            down_classes=down_classes,
+            m2l_classes=m2l_classes,
+            n_shifts=int(child_rows.size),
+            n_m2l=int(tgt_ids.size),
+            w_tgt_rows=id2row[w_tgt_ids],
+            w_src_rows=id2row[w_src_ids],
+            x_recv_rows=id2row[x_recv_ids],
+            x_src_rows=id2row[x_src_ids],
+        )
+    )
+
+
+# --------------------------------------------------------------------------
+# cached body layer (generation stamp)
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class LeafBodyPlan:
+    """CSR bodies of the effective leaves (preorder, matching
+    ``FarFieldGeometry.leaf_rows``)."""
+
+    body_idx: np.ndarray  # (m,) body ids, leaf-major
+    ptr: np.ndarray  # (n_leaves + 1,) CSR pointer
+    gid: np.ndarray  # (m,) leaf ordinal per row
+    rel: np.ndarray  # (m, 3) body position minus leaf center
+
+
+def _leaf_body_plan(tree: AdaptiveOctree, lists: InteractionLists) -> LeafBodyPlan:
+    cached, store = lists.derived_cache("farfield_body_plan")
+    if cached is not None:
+        return cached
+    leaves = tree.leaves()
+    n = len(leaves)
+    lo = np.array([tree.nodes[l].lo for l in leaves], dtype=np.int64)
+    hi = np.array([tree.nodes[l].hi for l in leaves], dtype=np.int64)
+    cnt = hi - lo
+    ptr = np.concatenate(([0], np.cumsum(cnt)))
+    # positions into tree.order: each leaf's [lo, hi) range, concatenated
+    total = int(cnt.sum())
+    starts = np.repeat(lo, cnt)
+    within = np.arange(total, dtype=np.int64) - np.repeat(ptr[:-1], cnt)
+    body_idx = tree.order[starts + within]
+    gid = np.repeat(np.arange(n, dtype=np.int64), cnt)
+    leaf_centers = np.array([tree.nodes[l].center for l in leaves], dtype=float)
+    rel = tree.points[body_idx] - leaf_centers[gid]
+    return store(LeafBodyPlan(body_idx=body_idx, ptr=ptr, gid=gid, rel=rel))
+
+
+def _leaf_basis(expansion, plan: LeafBodyPlan, lists: InteractionLists, kind: str):
+    """P2M/L2P row basis over the body plan, memoized per backend+order.
+
+    The spherical backend uses the *same* conj-regular table on both ends,
+    so it caches one entry under ``regular``.
+    """
+    if expansion.backend == "spherical":
+        kind = "regular"
+    key = f"farfield_basis:{expansion.backend}:{expansion.order}:{kind}"
+    cached, store = lists.derived_cache(key)
+    if cached is not None:
+        return cached
+    fn = expansion.p2m_basis if kind == "p2m" else expansion.l2p_basis
+    return store(fn(plan.rel))
+
+
+# --------------------------------------------------------------------------
+# the batched sweep
+# --------------------------------------------------------------------------
+
+
+def laplace_far_field(
+    tree: AdaptiveOctree,
+    lists: InteractionLists,
+    expansion,
+    *,
+    charges: np.ndarray | None = None,
+    dipoles: np.ndarray | None = None,
+    gradient: bool = False,
+    potential: bool = True,
+    tracer=None,
+) -> tuple[np.ndarray | None, np.ndarray | None]:
+    """Batched far-field potential/gradient of monopoles and/or dipoles.
+
+    Drop-in equivalent of :func:`repro.fmm.multipass.laplace_far_field_scalar`
+    (the per-node oracle).  ``tracer`` (a :class:`repro.obs.Tracer`) gets
+    one span per FMM operation with ``applications`` in the cost-model
+    units of :meth:`InteractionLists.op_counts`.
+    """
+    if charges is None and dipoles is None:
+        raise ValueError("provide charges and/or dipoles")
+    exp = expansion
+    if tracer is None:
+        from repro.obs import NULL_TELEMETRY
+
+        tracer = NULL_TELEMETRY.tracer
+    geom = far_field_geometry(tree, lists, exp)
+    plan = _leaf_body_plan(tree, lists)
+    pts = tree.points
+    q = None if charges is None else np.asarray(charges, dtype=float).reshape(-1)
+    dip = None if dipoles is None else np.atleast_2d(np.asarray(dipoles, dtype=float))
+
+    n_eff = geom.centers.shape[0]
+    nc = exp.n_coeffs
+    is_complex = exp.backend == "spherical"
+    dtype = complex if is_complex else float
+    n_bodies = plan.body_idx.size
+
+    # ---- P2M: per-body rows, segment-summed per leaf
+    multipoles = np.zeros((n_eff, nc), dtype=dtype)
+    with tracer.span("P2M", applications=n_bodies):
+        if n_bodies:
+            rows = None
+            if q is not None:
+                basis = _leaf_basis(exp, plan, lists, "p2m")
+                rows = q[plan.body_idx, None] * basis
+            if dip is not None:
+                drows = exp.p2m_dipole_rows(plan.rel, dip[plan.body_idx], plan.ptr)
+                rows = drows if rows is None else rows + drows
+            multipoles[geom.leaf_rows] = _segment_sum(rows, plan.ptr)
+
+    # ---- M2M: one matmul per (level, octant) class, deepest level first
+    with tracer.span("M2M", applications=geom.n_shifts):
+        for crows, prows, op in geom.up_classes:
+            multipoles[prows] += multipoles[crows] @ op
+
+    # ---- M2L: one matmul per displacement class
+    locals_ = np.zeros((n_eff, nc), dtype=dtype)
+    with tracer.span("M2L", applications=geom.n_m2l):
+        for srows, trows, op in geom.m2l_classes:
+            locals_[trows] += multipoles[srows] @ op
+
+    # ---- X phase (un-folded): batched P2L before the downward sweep
+    if geom.x_recv_rows.size:
+        xpos = geom.leaf_pos[geom.x_src_rows]
+        rowpos, cnt = _expand_segments(plan.ptr, xpos)
+        with tracer.span("P2L", applications=int(rowpos.size)):
+            if rowpos.size:
+                pair_of = np.repeat(np.arange(xpos.size, dtype=np.int64), cnt)
+                b_idx = plan.body_idx[rowpos]
+                relx = pts[b_idx] - geom.centers[geom.x_recv_rows[pair_of]]
+                pair_ptr = np.concatenate(([0], np.cumsum(cnt)))
+                rows = None
+                if q is not None:
+                    rows = q[b_idx, None] * exp.p2l_basis(relx)
+                if dip is not None:
+                    drows = exp.p2l_dipole_rows(relx, dip[b_idx], pair_ptr)
+                    rows = drows if rows is None else rows + drows
+                np.add.at(locals_, geom.x_recv_rows, _segment_sum(rows, pair_ptr))
+
+    # ---- L2L: parents first (classes ordered shallowest level first)
+    with tracer.span("L2L", applications=geom.n_shifts):
+        for prows, crows, op in geom.down_classes:
+            locals_[crows] += locals_[prows] @ op
+
+    # ---- leaf evaluation: batched L2P (+ gradient)
+    pot = np.zeros(tree.n_bodies) if potential else None
+    grad = np.zeros((tree.n_bodies, 3)) if gradient else None
+    with tracer.span("L2P", applications=n_bodies):
+        if n_bodies:
+            basis = _leaf_basis(exp, plan, lists, "l2p")
+            leaf_loc = locals_[geom.leaf_rows]
+            row_loc = leaf_loc[plan.gid]
+            if potential:
+                vals = np.einsum("ij,ij->i", basis, row_loc)
+                pot[plan.body_idx] = vals.real if is_complex else vals
+            if gradient:
+                for k, A in enumerate(exp.l2p_gradient_matrices()):
+                    gk = leaf_loc @ A
+                    vals = np.einsum("ij,ij->i", basis, gk[plan.gid])
+                    grad[plan.body_idx, k] = vals.real if is_complex else vals
+
+    # ---- W phase (un-folded): batched M2P into target-leaf bodies
+    if geom.w_tgt_rows.size:
+        tpos = geom.leaf_pos[geom.w_tgt_rows]
+        rowpos, cnt = _expand_segments(plan.ptr, tpos)
+        with tracer.span("M2P", applications=int(rowpos.size)):
+            if rowpos.size:
+                pair_of = np.repeat(np.arange(tpos.size, dtype=np.int64), cnt)
+                b_idx = plan.body_idx[rowpos]
+                relw = pts[b_idx] - geom.centers[geom.w_src_rows[pair_of]]
+                mom = multipoles[geom.w_src_rows]
+                if potential:
+                    Bw = exp.m2p_basis(relw)
+                    vals = np.einsum("ij,ij->i", Bw, mom[pair_of])
+                    np.add.at(pot, b_idx, vals.real if is_complex else vals)
+                if gradient:
+                    Bbig = exp.m2p_grad_basis(relw)
+                    for k, A in enumerate(exp.m2p_gradient_matrices()):
+                        gk = mom @ A
+                        vals = np.einsum("ij,ij->i", Bbig, gk[pair_of])
+                        np.add.at(
+                            grad[:, k], b_idx, vals.real if is_complex else vals
+                        )
+    return pot, grad

@@ -9,19 +9,25 @@ interaction lists.  :class:`~repro.fmm.evaluator.FMMSolver` uses this for
 its single-charge pass, and the composite Stokeslet solver
 (:mod:`repro.kernels.stokeslet_fmm`) runs several passes with different
 monopole/dipole channels.
+
+Production solves use the batched engine of :mod:`repro.fmm.farfield`
+(re-exported here as :func:`laplace_far_field`); this module keeps the
+original per-node sweep as :func:`laplace_far_field_scalar` — the
+equivalence oracle and benchmark baseline.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.fmm.farfield import laplace_far_field
 from repro.tree.lists import InteractionLists
 from repro.tree.octree import AdaptiveOctree
 
-__all__ = ["laplace_far_field"]
+__all__ = ["laplace_far_field", "laplace_far_field_scalar"]
 
 
-def laplace_far_field(
+def laplace_far_field_scalar(
     tree: AdaptiveOctree,
     lists: InteractionLists,
     expansion,
@@ -31,11 +37,17 @@ def laplace_far_field(
     gradient: bool = False,
     potential: bool = True,
 ) -> tuple[np.ndarray | None, np.ndarray | None]:
-    """Far-field potential/gradient of monopoles and/or dipoles.
+    """Per-node far-field sweep — the equivalence oracle.
 
     ``charges`` is (n,) monopole strengths; ``dipoles`` is (n, 3) dipole
     moments (field (p . d)/r^3).  Either may be None.  Returns
     ``(potential, gradient)`` with the unrequested entry None.
+
+    Production solves go through the batched engine
+    (:func:`repro.fmm.farfield.laplace_far_field`, re-exported here);
+    this reference implementation is kept — mirroring
+    ``build_interaction_lists_scalar`` — as the oracle for the
+    property-based equivalence tests and the benchmark baseline.
     """
     if charges is None and dipoles is None:
         raise ValueError("provide charges and/or dipoles")
@@ -110,14 +122,12 @@ def laplace_far_field(
             continue
         tgt = pts[idx]
         if potential:
-            pot[idx] += np.real(exp.l2p(locals_[nid], tgt, nodes[nid].center))
+            pot[idx] += exp.l2p(locals_[nid], tgt, nodes[nid].center)
         if gradient:
-            grad[idx] += np.real(exp.l2p_gradient(locals_[nid], tgt, nodes[nid].center))
+            grad[idx] += exp.l2p_gradient(locals_[nid], tgt, nodes[nid].center)
         for wnode in lists.w_list.get(nid, ()):
             if potential:
-                pot[idx] += np.real(exp.m2p(multipoles[wnode], tgt, nodes[wnode].center))
+                pot[idx] += exp.m2p(multipoles[wnode], tgt, nodes[wnode].center)
             if gradient:
-                grad[idx] += np.real(
-                    exp.m2p_gradient(multipoles[wnode], tgt, nodes[wnode].center)
-                )
+                grad[idx] += exp.m2p_gradient(multipoles[wnode], tgt, nodes[wnode].center)
     return pot, grad

@@ -19,6 +19,16 @@ The plan (index arrays + group offsets) is memoized on the
 by the tree's ``generation``: a frozen-shape *and* frozen-body step reuses
 it outright, while ``refit`` (which reorders bodies) rebuilds only the
 plan, not the lists.
+
+Refits get a cheaper path still: the plan's *skeleton* — gather positions
+into ``tree.order``, group pointers, pair totals — depends only on the
+tree shape and the per-leaf population counts (node ``lo``/``hi`` offsets
+are cumulative leaf counts in Morton order).  The skeleton is kept in a
+``structure_generation``-stamped slot together with a leaf-population
+signature; when a refit leaves every effective leaf's count unchanged the
+plan is *refreshed* by re-gathering ``tree.order`` at the stored
+positions instead of being rebuilt from ``near_sources``.  Build, refresh
+and hit counters accumulate in ``lists.nearfield_plan_stats``.
 """
 
 from __future__ import annotations
@@ -34,15 +44,15 @@ from repro.tree.octree import AdaptiveOctree
 __all__ = ["NearFieldPlan", "build_near_field_plan", "evaluate_near_field"]
 
 
-def _gather_segments(order: np.ndarray, lo: np.ndarray, hi: np.ndarray):
-    """Concatenate ``order[lo[k]:hi[k]]`` segments; returns (values, counts)."""
+def _segment_positions(lo: np.ndarray, hi: np.ndarray):
+    """Concatenated positions ``lo[k]:hi[k]``; returns (positions, counts)."""
     cnt = hi - lo
     total = int(cnt.sum())
     if total == 0:
-        return np.empty(0, dtype=order.dtype), cnt
+        return np.empty(0, dtype=np.int64), cnt
     ends = np.cumsum(cnt)
     within = np.arange(total, dtype=np.int64) - np.repeat(ends - cnt, cnt)
-    return order[np.repeat(lo, cnt) + within], cnt
+    return np.repeat(lo, cnt) + within, cnt
 
 
 @dataclass
@@ -65,12 +75,64 @@ class NearFieldPlan:
     total_pairs: int
 
 
+@dataclass
+class _PlanSkeleton:
+    """Body-count-dependent but order-independent part of a plan.
+
+    ``*_pos`` index into ``tree.order``; re-gathering them yields a valid
+    plan after any refit that kept every leaf's population unchanged
+    (``leaf_ids``/``leaf_counts`` is the validity signature).
+    """
+
+    tgt_pos: np.ndarray
+    tgt_ptr: np.ndarray
+    src_pos: np.ndarray
+    src_ptr: np.ndarray
+    self_pos: np.ndarray
+    n_groups: int
+    total_pairs: int
+    leaf_ids: list
+    leaf_counts: np.ndarray
+
+
+def _plan_stats(lists: InteractionLists) -> dict[str, int]:
+    stats = getattr(lists, "nearfield_plan_stats", None)
+    if stats is None:
+        stats = {"builds": 0, "refreshes": 0, "hits": 0}
+        lists.nearfield_plan_stats = stats
+    return stats
+
+
+def _plan_from_skeleton(order: np.ndarray, skel: _PlanSkeleton) -> NearFieldPlan:
+    return NearFieldPlan(
+        tgt_idx=order[skel.tgt_pos],
+        tgt_ptr=skel.tgt_ptr,
+        src_idx=order[skel.src_pos],
+        src_ptr=skel.src_ptr,
+        self_idx=order[skel.self_pos],
+        n_groups=skel.n_groups,
+        total_pairs=skel.total_pairs,
+    )
+
+
 def build_near_field_plan(tree: AdaptiveOctree, lists: InteractionLists) -> NearFieldPlan:
-    """Build (or fetch the memoized) near-field plan for ``lists``."""
+    """Build (or fetch the memoized, or refresh the skeleton-valid) plan."""
     cached, store = lists.derived_cache("near_field_plan")
+    stats = _plan_stats(lists)
     if cached is not None:
+        stats["hits"] += 1
         return cached
 
+    skel_cached, skel_store = lists.derived_cache("near_field_skeleton", structural=True)
+    if skel_cached is not None:
+        counts = np.array(
+            [tree.nodes[l].count for l in skel_cached.leaf_ids], dtype=np.int64
+        )
+        if np.array_equal(counts, skel_cached.leaf_counts):
+            stats["refreshes"] += 1
+            return store(_plan_from_skeleton(tree.order, skel_cached))
+
+    stats["builds"] += 1
     nodes = tree.nodes
     order = tree.order
     node_lo = np.fromiter((n.lo for n in nodes), dtype=np.int64, count=len(nodes))
@@ -92,8 +154,8 @@ def build_near_field_plan(tree: AdaptiveOctree, lists: InteractionLists) -> Near
     sig_cnt = np.fromiter((a.size for a in sig_arrs), dtype=np.int64, count=len(sig_arrs))
     tgt_cnt = np.fromiter((a.size for a in tgt_arrs), dtype=np.int64, count=len(tgt_arrs))
 
-    src_idx, src_body_cnt = _gather_segments(order, node_lo[sig_flat], node_hi[sig_flat])
-    tgt_idx, tgt_body_cnt = _gather_segments(order, node_lo[tgt_flat], node_hi[tgt_flat])
+    src_pos, src_body_cnt = _segment_positions(node_lo[sig_flat], node_hi[sig_flat])
+    tgt_pos, tgt_body_cnt = _segment_positions(node_lo[tgt_flat], node_hi[tgt_flat])
     # per-group body counts: sum the per-leaf counts within each group
     gid_src = np.repeat(np.arange(len(sig_arrs)), sig_cnt)
     gid_tgt = np.repeat(np.arange(len(tgt_arrs)), tgt_cnt)
@@ -103,18 +165,22 @@ def build_near_field_plan(tree: AdaptiveOctree, lists: InteractionLists) -> Near
     tgt_ptr = np.concatenate(([0], np.cumsum(tgt_per_group))).astype(np.int64)
 
     sl = np.fromiter(self_leaves, dtype=np.int64, count=len(self_leaves))
-    self_idx, _ = _gather_segments(order, node_lo[sl], node_hi[sl])
+    self_pos, _ = _segment_positions(node_lo[sl], node_hi[sl])
 
-    plan = NearFieldPlan(
-        tgt_idx=tgt_idx,
+    leaf_ids = tree.leaves()
+    skel = _PlanSkeleton(
+        tgt_pos=tgt_pos,
         tgt_ptr=tgt_ptr,
-        src_idx=src_idx,
+        src_pos=src_pos,
         src_ptr=src_ptr,
-        self_idx=self_idx,
+        self_pos=self_pos,
         n_groups=len(sig_arrs),
         total_pairs=int((tgt_per_group * src_per_group).sum()),
+        leaf_ids=leaf_ids,
+        leaf_counts=np.array([nodes[l].count for l in leaf_ids], dtype=np.int64),
     )
-    return store(plan)
+    skel_store(skel)
+    return store(_plan_from_skeleton(order, skel))
 
 
 def evaluate_near_field(

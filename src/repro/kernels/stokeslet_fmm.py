@@ -30,6 +30,7 @@ from repro.expansions.cartesian import CartesianExpansion
 from repro.fmm.multipass import laplace_far_field
 from repro.fmm.nearfield import evaluate_near_field
 from repro.kernels.stokeslet import RegularizedStokesletKernel
+from repro.obs import NULL_TELEMETRY, Telemetry
 from repro.tree.cache import ListCache
 from repro.tree.lists import InteractionLists
 from repro.tree.octree import AdaptiveOctree
@@ -63,11 +64,13 @@ class StokesletFMMSolver:
         expansion=None,
         folded: bool = True,
         list_cache: ListCache | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.kernel = kernel if kernel is not None else RegularizedStokesletKernel()
         self.expansion = expansion if expansion is not None else CartesianExpansion(order)
         self.folded = folded
         self.list_cache = list_cache if list_cache is not None else ListCache()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
 
     def solve(
         self,
@@ -85,15 +88,18 @@ class StokesletFMMSolver:
         scale = 1.0 / (8.0 * np.pi * self.kernel.viscosity)
 
         u = np.zeros((tree.n_bodies, 3))
+        tracer = self.telemetry.tracer
         # far field: phi_i (monopoles f_i), A (dipoles f), B_i (dipoles s_i f)
         for i in range(3):
-            phi_i, _ = laplace_far_field(tree, lists, self.expansion, charges=f[:, i])
+            phi_i, _ = laplace_far_field(
+                tree, lists, self.expansion, charges=f[:, i], tracer=tracer
+            )
             u[:, i] += phi_i
-        A, _ = laplace_far_field(tree, lists, self.expansion, dipoles=f)
+        A, _ = laplace_far_field(tree, lists, self.expansion, dipoles=f, tracer=tracer)
         u += pts * A[:, None]
         for i in range(3):
             B_i, _ = laplace_far_field(
-                tree, lists, self.expansion, dipoles=pts[:, i : i + 1] * f
+                tree, lists, self.expansion, dipoles=pts[:, i : i + 1] * f, tracer=tracer
             )
             u[:, i] -= B_i
         u *= scale

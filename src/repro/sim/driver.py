@@ -127,6 +127,7 @@ class Simulation:
                 order=self.config.order,
                 folded=self.config.folded,
                 list_cache=self.list_cache,
+                telemetry=self.telemetry,
             )
             if self.config.forces == "fmm"
             else None

@@ -77,14 +77,21 @@ class InteractionLists:
     def total_near_interactions(self) -> int:
         return sum(self.interactions_of_leaf(t) for t in self.near_sources)
 
-    def derived_cache(self, kind: str):
+    def derived_cache(self, kind: str, *, structural: bool = False):
         """Fetch a derived-data cache slot, invalidated by tree mutation.
 
         Returns ``(value, store)`` where ``value`` is the cached entry for
         ``kind`` if it was computed at the tree's current ``generation``
         (else ``None``) and ``store(v)`` memoizes a fresh value.
+
+        ``structural=True`` stamps the slot with ``structure_generation``
+        instead: the entry survives refits (body motion) and is
+        invalidated only by tree surgery.  Use it for geometry-only
+        artifacts — displacement classes, translation operators — that
+        depend solely on the effective tree *shape*.
         """
-        gen = getattr(self.tree, "generation", None)
+        attr = "structure_generation" if structural else "generation"
+        gen = getattr(self.tree, attr, None)
         entry = self._derived.get(kind)
         value = entry[1] if (entry is not None and entry[0] == gen) else None
 

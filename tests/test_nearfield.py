@@ -88,3 +88,52 @@ def test_plan_covers_every_near_pair_once():
     assert plan.total_pairs == expected
     # every body belongs to exactly one target leaf -> appears once in tgt_idx
     assert np.array_equal(np.sort(plan.tgt_idx), np.arange(tree.n_bodies))
+
+
+def test_plan_refreshed_across_refit_when_counts_unchanged():
+    """A refit that keeps every leaf population re-gathers the skeleton
+    instead of rebuilding the plan from ``near_sources``."""
+    tree, lists, q = _setup(1, n=500)
+    build_near_field_plan(tree, lists)
+    assert lists.nearfield_plan_stats == {"builds": 1, "refreshes": 0, "hits": 0}
+
+    rng = np.random.default_rng(0)
+    tree.points[:] += 1e-9 * rng.standard_normal(tree.points.shape)
+    sg = tree.structure_generation
+    tree.refit()
+    assert tree.structure_generation == sg
+    plan = build_near_field_plan(tree, lists)
+    stats = lists.nearfield_plan_stats
+    assert stats["builds"] == 1 and stats["refreshes"] == 1
+    build_near_field_plan(tree, lists)
+    assert stats["hits"] == 1
+
+    # the refreshed plan must equal a from-scratch build on fresh lists
+    fresh = build_near_field_plan(tree, build_interaction_lists(tree, folded=True))
+    for name in ("tgt_idx", "tgt_ptr", "src_idx", "src_ptr", "self_idx"):
+        assert np.array_equal(getattr(plan, name), getattr(fresh, name)), name
+    assert plan.total_pairs == fresh.total_pairs
+
+    # and produce the same physics as the per-leaf reference
+    kernel = LaplaceKernel(softening=0.05)
+    pot, grad = evaluate_near_field(kernel, tree, lists, q, potential=True, gradient=True)
+    ref_pot, ref_grad = _reference_near_field(
+        kernel, tree, lists, q, potential=True, gradient=True
+    )
+    assert np.allclose(pot, ref_pot, rtol=0, atol=1e-12 * max(1.0, np.abs(ref_pot).max()))
+    assert np.allclose(grad, ref_grad, rtol=0, atol=1e-12 * max(1.0, np.abs(ref_grad).max()))
+
+
+def test_plan_rebuilt_when_leaf_population_changes():
+    tree, lists, _ = _setup(1, n=500)
+    build_near_field_plan(tree, lists)
+    # teleport one body onto a body of a *different* leaf: two populations
+    # change while the tree shape can stay identical
+    donor = int(tree.order[0])
+    receiver = int(tree.order[-1])
+    assert tree.leaf_of_body(donor) != tree.leaf_of_body(receiver)
+    tree.points[donor] = tree.points[receiver]
+    tree.refit()
+    build_near_field_plan(tree, lists)
+    stats = lists.nearfield_plan_stats
+    assert stats["builds"] == 2 and stats["refreshes"] == 0
