@@ -7,12 +7,39 @@ roughly what factor, where crossovers fall).  Run with::
     pytest benchmarks/ --benchmark-only -s
 
 Pass ``-s`` to see the regenerated rows/series.
+
+BLAS threading is pinned to one thread *before NumPy loads* (the env vars
+below are read at library init): the execution-engine benches attribute
+speedup to *our* task-level parallelism, and an OpenBLAS/MKL pool running
+underneath would both confound that attribution and oversubscribe the
+cores the engine's workers sit on.
 """
 
+import os
 import sys
 from pathlib import Path
+
+# must precede any (transitive) numpy import in this process
+for _var in (
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "OMP_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+):
+    os.environ[_var] = "1"
+
+import pytest
 
 # allow running the benchmarks without installing the package
 SRC = Path(__file__).resolve().parent.parent / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
+
+
+@pytest.fixture(autouse=True)
+def pinned_blas_threads():
+    """Assert the single-thread BLAS pin held for every benchmark."""
+    for var in ("OPENBLAS_NUM_THREADS", "MKL_NUM_THREADS", "OMP_NUM_THREADS"):
+        assert os.environ.get(var) == "1", f"{var} lost its single-thread pin"
+    yield

@@ -1,0 +1,112 @@
+"""Execution-engine benchmark gate: real concurrency must really pay.
+
+The claim under test is the tentpole's acceptance bar: running the full
+far-field + near-field pipeline of a 50k-body Plummer step through the
+dependency-driven thread-pool engine with 4+ workers beats the serial
+path by >= 1.5x — with *bitwise identical* results.  BLAS threading is
+pinned to 1 by ``conftest.py``, so any speedup is the engine's task-level
+parallelism, not a library pool.
+
+The speedup gate needs real cores: on machines with fewer than 4 CPUs the
+timing assertion is skipped (CI runners enforce it); the bitwise-equality
+assertion runs everywhere, since thread scheduling on an oversubscribed
+box is exactly where determinism bugs would show.
+
+Results append to ``BENCH_runtime.json`` (uploaded as a CI artifact, like
+``BENCH_farfield.json``).
+"""
+
+import gc
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.distributions.generators import plummer
+from repro.fmm.evaluator import FMMSolver
+from repro.kernels import LaplaceKernel
+from repro.runtime.engine import ExecutionEngine
+from repro.tree import AdaptiveOctree, build_interaction_lists
+
+_BENCH_RUNTIME = Path(__file__).resolve().parents[1] / "BENCH_runtime.json"
+
+
+def _best_time(fn, rounds):
+    """Best-of-N wall time with the GC held off the timed region."""
+    best = float("inf")
+    for _ in range(rounds):
+        gc.collect()
+        gc.disable()
+        try:
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        finally:
+            gc.enable()
+    return best
+
+
+def test_bench_engine_step_speedup(benchmark):
+    """4-worker engine >= 1.5x over serial on a 50k-body far+near solve."""
+    n = 50_000
+    n_workers = max(4, min(8, os.cpu_count() or 1))
+    pts = plummer(n, seed=7).positions
+    tree = AdaptiveOctree(pts, S=32)
+    lists = build_interaction_lists(tree, folded=True)
+    rng = np.random.default_rng(7)
+    q = rng.uniform(-1, 1, n)
+    kernel = LaplaceKernel(softening=1e-3)
+
+    serial = FMMSolver(kernel, order=4, folded=True)
+    ref = serial.solve(tree, q, lists=lists)  # warms every shared cache
+    serial_run = lambda: serial.solve(tree, q, lists=lists)  # noqa: E731
+
+    with ExecutionEngine(n_workers=n_workers) as eng:
+        par = FMMSolver(kernel, order=4, folded=True, engine=eng)
+        res = par.solve(tree, q, lists=lists)
+        assert np.array_equal(res.potential, ref.potential), (
+            "engine result drifted from serial bitwise"
+        )
+        par_run = lambda: par.solve(tree, q, lists=lists)  # noqa: E731
+
+        serial_t = _best_time(serial_run, rounds=3)
+        par_t = _best_time(par_run, rounds=3)
+        benchmark.pedantic(par_run, rounds=2, iterations=1)
+        eng_res = par.last_engine_result
+
+    speedup = serial_t / par_t
+    record = {
+        "bench": "engine_step_50k_plummer",
+        "n": n,
+        "S": 32,
+        "order": 4,
+        "n_workers": n_workers,
+        "cpu_count": os.cpu_count(),
+        "serial_ms": round(serial_t * 1e3, 3),
+        "engine_ms": round(par_t * 1e3, 3),
+        "speedup": round(speedup, 2),
+        "n_tasks": eng_res.n_tasks,
+        "utilization": round(eng_res.utilization, 3),
+        "bitwise_identical": True,
+    }
+    history = []
+    if _BENCH_RUNTIME.exists():
+        history = json.loads(_BENCH_RUNTIME.read_text())
+    history.append(record)
+    _BENCH_RUNTIME.write_text(json.dumps(history, indent=2) + "\n")
+
+    print()
+    print(
+        f"engine step, 50k plummer S=32 order=4: serial {serial_t * 1e3:.1f} ms, "
+        f"{n_workers} workers {par_t * 1e3:.1f} ms, speedup {speedup:.2f}x, "
+        f"{eng_res.n_tasks} tasks, utilization {eng_res.utilization:.0%}"
+    )
+    if (os.cpu_count() or 1) < 4:
+        pytest.skip(
+            f"speedup gate needs >= 4 CPUs (have {os.cpu_count()}); "
+            "bitwise equality verified above"
+        )
+    assert speedup >= 1.5, f"engine only {speedup:.2f}x over serial at {n_workers} workers"

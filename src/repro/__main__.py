@@ -8,6 +8,7 @@ Usage::
     python -m repro strategies --n 2500 --steps 300
     python -m repro fig7 --n 50000
     python -m repro trace --n 2000 --steps 30 --out trace.json
+    python -m repro trace --forces fmm --workers 4
 
 Options are forwarded as keyword arguments to the experiment's ``run``;
 integers and floats are parsed automatically.

@@ -14,6 +14,12 @@ One :meth:`FMMSolver.solve` call performs the full algorithm of §I-C on an
 
 The solver also returns the per-operation application counts, which are
 what the paper's cost model consumes.
+
+Pass an :class:`~repro.runtime.engine.ExecutionEngine` with more than one
+worker and the solve runs as a real task graph — independent far-field
+stages on pool threads, near field overlapping the sweep — with results
+bitwise identical to the serial path (see :mod:`repro.runtime.graphs`).
+The engine's measured per-task timings land in ``last_engine_result``.
 """
 
 from __future__ import annotations
@@ -59,6 +65,7 @@ class FMMSolver:
         folded: bool = True,
         list_cache: ListCache | None = None,
         telemetry: Telemetry | None = None,
+        engine=None,
     ) -> None:
         self.kernel = kernel
         self.expansion = expansion if expansion is not None else CartesianExpansion(order)
@@ -70,6 +77,11 @@ class FMMSolver:
         self.list_cache = list_cache if list_cache is not None else ListCache()
         #: per-op far-field spans go here (no-op bundle by default)
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        #: :class:`repro.runtime.engine.ExecutionEngine` or ``None``; with
+        #: >1 worker solves run the concurrent task-graph path
+        self.engine = engine
+        #: :class:`repro.runtime.engine.EngineResult` of the last engine solve
+        self.last_engine_result = None
 
     # ----------------------------------------------------------------- solve
     def solve(
@@ -103,8 +115,13 @@ class FMMSolver:
         if q.shape[0] != tree.n_bodies:
             raise ValueError("strengths must have one entry per body")
 
-        far_pot, far_grad = self._far_field(tree, lists, q, gradient, potential)
-        near_pot, near_grad = self._near_field(tree, lists, q, gradient, potential)
+        if self.engine is not None and self.engine.config.parallel:
+            far_pot, far_grad, near_pot, near_grad = self._solve_engine(
+                tree, lists, q, gradient, potential
+            )
+        else:
+            far_pot, far_grad = self._far_field(tree, lists, q, gradient, potential)
+            near_pot, near_grad = self._near_field(tree, lists, q, gradient, potential)
 
         pot_total = None
         if potential:
@@ -145,3 +162,39 @@ class FMMSolver:
             potential=want_potential,
             gradient=want_gradient,
         )
+
+    # ------------------------------------------------- concurrent task graph
+    def _solve_engine(self, tree, lists, q, want_gradient, want_potential):
+        """Far + near field as one task graph on the execution engine.
+
+        Bitwise identical to the serial path: the graph's merge chains
+        replay every reduction in the serial loop order, and far/near
+        accumulate into separate arrays combined exactly as above.
+        """
+        # imported here: repro.fmm / repro.runtime package inits would cycle
+        from repro.fmm.farfield import FarFieldPass
+        from repro.fmm.nearfield import NearFieldPass
+        from repro.runtime.engine import TaskGraphBuilder
+        from repro.runtime.graphs import add_far_field_tasks, add_near_field_tasks
+
+        far = FarFieldPass(
+            tree,
+            lists,
+            self.expansion,
+            charges=q,
+            gradient=want_gradient,
+            potential=want_potential,
+        )
+        near = NearFieldPass(
+            self.kernel, tree, lists, q,
+            potential=want_potential, gradient=want_gradient,
+        )
+        g = TaskGraphBuilder()
+        n_chunks = 4 * self.engine.n_workers
+        far_done = add_far_field_tasks(g, far, n_chunks=n_chunks)
+        near_deps = () if self.engine.config.overlap else (far_done,)
+        add_near_field_tasks(g, near, n_chunks=n_chunks, deps=near_deps)
+        self.last_engine_result = self.engine.run(g)
+        far_pot, far_grad = far.result()
+        near_pot, near_grad = near.result()
+        return far_pot, far_grad, near_pot, near_grad

@@ -22,12 +22,20 @@ on the :class:`~repro.tree.lists.InteractionLists` via ``derived_cache``:
   bases over the body plan, shared by every far-field pass of a solve
   (the composite Stokeslet solver runs seven).
 
-:func:`laplace_far_field` is a drop-in replacement for the scalar sweep
-(kept as ``laplace_far_field_scalar``, the equivalence oracle); it also
-accepts a ``tracer`` and emits one span per FMM operation whose
-``applications`` argument follows the cost-model unit conventions of
-:meth:`InteractionLists.op_counts`, keeping ``C_op = time/applications``
-calibration meaningful on the batched path.
+The sweep itself is decomposed into **stage-level closures** on
+:class:`FarFieldPass` so the real execution engine
+(:mod:`repro.runtime.engine`) can run independent stages concurrently:
+M2L displacement-class matmuls are mutually independent, M2M/L2L are
+level-ordered, and the class *merges* into shared coefficient arrays are
+kept as separate steps applied in a fixed class order — which is what
+makes a parallel run bitwise identical to a serial one.
+
+:func:`laplace_far_field` — the drop-in serial driver over those stages —
+replaces the scalar sweep (kept as ``laplace_far_field_scalar``, the
+equivalence oracle); it also accepts a ``tracer`` and emits one span per
+FMM operation whose ``applications`` argument follows the cost-model unit
+conventions of :meth:`InteractionLists.op_counts`, keeping
+``C_op = time/applications`` calibration meaningful on the batched path.
 """
 
 from __future__ import annotations
@@ -39,7 +47,13 @@ import numpy as np
 from repro.tree.lists import InteractionLists
 from repro.tree.octree import AdaptiveOctree
 
-__all__ = ["FarFieldGeometry", "LeafBodyPlan", "far_field_geometry", "laplace_far_field"]
+__all__ = [
+    "FarFieldGeometry",
+    "FarFieldPass",
+    "LeafBodyPlan",
+    "far_field_geometry",
+    "laplace_far_field",
+]
 
 
 # --------------------------------------------------------------------------
@@ -111,6 +125,17 @@ def _cache_stats(lists: InteractionLists, attr: str) -> dict[str, int]:
     return stats
 
 
+def _level_groups(levels: list[int]) -> list[list[int]]:
+    """Group consecutive equal entries of ``levels`` into index runs."""
+    groups: list[list[int]] = []
+    for i, lvl in enumerate(levels):
+        if groups and levels[i - 1] == lvl:
+            groups[-1].append(i)
+        else:
+            groups.append([i])
+    return groups
+
+
 # --------------------------------------------------------------------------
 # cached geometry layer (structure_generation stamp)
 # --------------------------------------------------------------------------
@@ -139,6 +164,8 @@ class FarFieldGeometry:
     w_src_rows: np.ndarray  # W pairs: source-node row per pair
     x_recv_rows: np.ndarray  # X pairs: receiving-node row per pair
     x_src_rows: np.ndarray  # X pairs: source-leaf row per pair
+    up_class_levels: list  # tree level of each up class (aligned)
+    down_class_levels: list  # tree level of each down class (aligned)
 
 
 def far_field_geometry(
@@ -178,6 +205,8 @@ def far_field_geometry(
     child_rows = np.nonzero(parent_row >= 0)[0]
     up_classes: list = []
     down_classes: list = []
+    up_class_levels: list = []
+    down_class_levels: list = []
     if child_rows.size:
         prow = parent_row[child_rows]
         off = centers[child_rows] - centers[prow]
@@ -192,10 +221,12 @@ def far_field_geometry(
             segs.append((int(levels[c[0]]), c, parent_row[c]))
         for lvl, c, p in sorted(segs, key=lambda s: -s[0]):
             up_classes.append((c, p, expansion.m2m_class_operator(centers[p[0]] - centers[c[0]])))
+            up_class_levels.append(lvl)
         for lvl, c, p in sorted(segs, key=lambda s: s[0]):
             down_classes.append(
                 (p, c, expansion.l2l_class_operator(centers[c[0]] - centers[p[0]]))
             )
+            down_class_levels.append(lvl)
 
     # ---- M2L displacement classes: quantize center offsets in units of
     # the target level's cell size (V-list pairs are same-level, offsets
@@ -234,6 +265,8 @@ def far_field_geometry(
             w_src_rows=id2row[w_src_ids],
             x_recv_rows=id2row[x_recv_ids],
             x_src_rows=id2row[x_src_ids],
+            up_class_levels=up_class_levels,
+            down_class_levels=down_class_levels,
         )
     )
 
@@ -292,8 +325,231 @@ def _leaf_basis(expansion, plan: LeafBodyPlan, lists: InteractionLists, kind: st
 
 
 # --------------------------------------------------------------------------
-# the batched sweep
+# the batched sweep, decomposed into schedulable stages
 # --------------------------------------------------------------------------
+
+
+class FarFieldPass:
+    """One batched far-field pass split into dependency-ordered stages.
+
+    Construction (always on the calling thread) resolves every shared
+    cache — geometry classes, the leaf body plan, P2M/L2P bases, gradient
+    matrices — so the stage methods are pure compute and safe to run on
+    pool threads.  The stage contract that keeps any execution order
+    allowed by the dependencies **bitwise identical** to the serial order:
+
+    * ``p2m`` / ``l2p`` / ``l2l_apply`` write disjoint rows and may run
+      concurrently with anything that does not read those rows;
+    * ``m2m_delta`` / ``m2l_delta`` / ``p2l_compute`` / ``m2p_compute``
+      only *read* shared arrays, parking their contribution privately;
+    * the matching ``*_merge`` stages fold contributions into the shared
+      arrays and must be called in **class order** (the serial loop
+      order), which the task graph enforces with a merge chain.
+
+    :func:`laplace_far_field` is the serial driver over these stages;
+    :func:`repro.runtime.graphs.add_far_field_tasks` is the parallel one.
+    """
+
+    def __init__(
+        self,
+        tree: AdaptiveOctree,
+        lists: InteractionLists,
+        expansion,
+        *,
+        charges: np.ndarray | None = None,
+        dipoles: np.ndarray | None = None,
+        gradient: bool = False,
+        potential: bool = True,
+    ) -> None:
+        if charges is None and dipoles is None:
+            raise ValueError("provide charges and/or dipoles")
+        exp = expansion
+        self.exp = exp
+        self.geom = far_field_geometry(tree, lists, exp)
+        self.plan = _leaf_body_plan(tree, lists)
+        self.pts = tree.points
+        self.q = None if charges is None else np.asarray(charges, dtype=float).reshape(-1)
+        self.dip = (
+            None if dipoles is None else np.atleast_2d(np.asarray(dipoles, dtype=float))
+        )
+        self.want_potential = potential
+        self.want_gradient = gradient
+
+        geom, plan = self.geom, self.plan
+        n_eff = geom.centers.shape[0]
+        nc = exp.n_coeffs
+        self.is_complex = exp.backend == "spherical"
+        dtype = complex if self.is_complex else float
+        self.n_bodies = plan.body_idx.size
+        self.multipoles = np.zeros((n_eff, nc), dtype=dtype)
+        self.locals_ = np.zeros((n_eff, nc), dtype=dtype)
+        self.pot = np.zeros(tree.n_bodies) if potential else None
+        self.grad = np.zeros((tree.n_bodies, 3)) if gradient else None
+
+        # resolve every lists-level cache now (stages must not mutate the
+        # shared derived_cache dict from pool threads)
+        self._p2m_basis = (
+            _leaf_basis(exp, plan, lists, "p2m") if self.q is not None else None
+        )
+        self._l2p_basis = _leaf_basis(exp, plan, lists, "l2p")
+        self._l2p_grad_mats = exp.l2p_gradient_matrices() if gradient else ()
+        self._m2p_grad_mats = (
+            exp.m2p_gradient_matrices() if (gradient and geom.w_tgt_rows.size) else ()
+        )
+
+        # level structure of the shift classes (contiguous runs by build)
+        self.up_levels = _level_groups(geom.up_class_levels)
+        self.down_levels = _level_groups(geom.down_class_levels)
+        self.n_m2l_classes = len(geom.m2l_classes)
+
+        # X/W pair expansion (precomputed outside the op spans, matching
+        # the original sweep)
+        self._x_rowpos, x_cnt = _expand_segments(plan.ptr, geom.leaf_pos[geom.x_src_rows])
+        self._x_pair_cnt = x_cnt
+        self._w_rowpos, w_cnt = _expand_segments(plan.ptr, geom.leaf_pos[geom.w_tgt_rows])
+        self._w_pair_cnt = w_cnt
+        self.n_p2l_rows = int(self._x_rowpos.size)
+        self.n_m2p_rows = int(self._w_rowpos.size)
+
+        # private per-class/stage contributions awaiting their merge
+        self._up_delta: dict[int, np.ndarray] = {}
+        self._m2l_delta: dict[int, np.ndarray] = {}
+        self._x_contrib: np.ndarray | None = None
+        self._m2p_pot_vals: np.ndarray | None = None
+        self._m2p_grad_vals: list[np.ndarray] | None = None
+
+    # ------------------------------------------------------------ endpoints
+    def p2m(self) -> None:
+        """Per-body rows, segment-summed per leaf (writes leaf rows only)."""
+        if not self.n_bodies:
+            return
+        plan = self.plan
+        rows = None
+        if self.q is not None:
+            rows = self.q[plan.body_idx, None] * self._p2m_basis
+        if self.dip is not None:
+            drows = self.exp.p2m_dipole_rows(plan.rel, self.dip[plan.body_idx], plan.ptr)
+            rows = drows if rows is None else rows + drows
+        self.multipoles[self.geom.leaf_rows] = _segment_sum(rows, plan.ptr)
+
+    def l2p(self) -> None:
+        """Batched leaf evaluation (assigns disjoint body rows)."""
+        if not self.n_bodies:
+            return
+        plan, geom = self.plan, self.geom
+        leaf_loc = self.locals_[geom.leaf_rows]
+        row_loc = leaf_loc[plan.gid]
+        if self.want_potential:
+            vals = np.einsum("ij,ij->i", self._l2p_basis, row_loc)
+            self.pot[plan.body_idx] = vals.real if self.is_complex else vals
+        if self.want_gradient:
+            for k, A in enumerate(self._l2p_grad_mats):
+                gk = leaf_loc @ A
+                vals = np.einsum("ij,ij->i", self._l2p_basis, gk[plan.gid])
+                self.grad[plan.body_idx, k] = vals.real if self.is_complex else vals
+
+    # -------------------------------------------------------------- upsweep
+    def m2m_delta(self, ci: int) -> None:
+        """Class matmul reading child rows (one level deeper) only."""
+        crows, _prows, op = self.geom.up_classes[ci]
+        self._up_delta[ci] = self.multipoles[crows] @ op
+
+    def m2m_merge(self, ci: int) -> None:
+        """Fold one class delta into its parent rows (class order!)."""
+        _crows, prows, _op = self.geom.up_classes[ci]
+        self.multipoles[prows] += self._up_delta.pop(ci)
+
+    # ---------------------------------------------------------- translation
+    def m2l_delta(self, ci: int) -> None:
+        """Displacement-class matmul (reads finished multipoles only)."""
+        srows, _trows, op = self.geom.m2l_classes[ci]
+        self._m2l_delta[ci] = self.multipoles[srows] @ op
+
+    def m2l_merge(self, ci: int) -> None:
+        """Fold one class delta into local rows (class order!)."""
+        _srows, trows, _op = self.geom.m2l_classes[ci]
+        self.locals_[trows] += self._m2l_delta.pop(ci)
+
+    def p2l_compute(self) -> None:
+        """X phase (un-folded): batched P2L contribution, parked privately."""
+        geom, plan = self.geom, self.plan
+        rowpos = self._x_rowpos
+        if not rowpos.size:
+            return
+        xpos = geom.leaf_pos[geom.x_src_rows]
+        cnt = self._x_pair_cnt
+        pair_of = np.repeat(np.arange(xpos.size, dtype=np.int64), cnt)
+        b_idx = plan.body_idx[rowpos]
+        relx = self.pts[b_idx] - geom.centers[geom.x_recv_rows[pair_of]]
+        pair_ptr = np.concatenate(([0], np.cumsum(cnt)))
+        rows = None
+        if self.q is not None:
+            rows = self.q[b_idx, None] * self.exp.p2l_basis(relx)
+        if self.dip is not None:
+            drows = self.exp.p2l_dipole_rows(relx, self.dip[b_idx], pair_ptr)
+            rows = drows if rows is None else rows + drows
+        self._x_contrib = _segment_sum(rows, pair_ptr)
+
+    def p2l_merge(self) -> None:
+        """Fold the X contribution in (after every M2L class merge)."""
+        if self._x_contrib is None:
+            return
+        np.add.at(self.locals_, self.geom.x_recv_rows, self._x_contrib)
+        self._x_contrib = None
+
+    # ------------------------------------------------------------ downsweep
+    def l2l_apply(self, ci: int) -> None:
+        """One L2L class: reads parent rows, writes disjoint child rows.
+
+        Each child row belongs to exactly one (level, octant) class, so
+        classes of the same level are mutually scatter-safe and need no
+        delta/merge split.
+        """
+        prows, crows, op = self.geom.down_classes[ci]
+        self.locals_[crows] += self.locals_[prows] @ op
+
+    # -------------------------------------------------------------- W phase
+    def m2p_compute(self) -> None:
+        """W phase: evaluate source multipoles at target-leaf bodies."""
+        geom, plan = self.geom, self.plan
+        rowpos = self._w_rowpos
+        if not rowpos.size:
+            return
+        tpos = geom.leaf_pos[geom.w_tgt_rows]
+        cnt = self._w_pair_cnt
+        pair_of = np.repeat(np.arange(tpos.size, dtype=np.int64), cnt)
+        b_idx = plan.body_idx[rowpos]
+        relw = self.pts[b_idx] - geom.centers[geom.w_src_rows[pair_of]]
+        mom = self.multipoles[geom.w_src_rows]
+        if self.want_potential:
+            Bw = self.exp.m2p_basis(relw)
+            vals = np.einsum("ij,ij->i", Bw, mom[pair_of])
+            self._m2p_pot_vals = vals.real if self.is_complex else vals
+        if self.want_gradient:
+            Bbig = self.exp.m2p_grad_basis(relw)
+            out = []
+            for A in self._m2p_grad_mats:
+                gk = mom @ A
+                vals = np.einsum("ij,ij->i", Bbig, gk[pair_of])
+                out.append(vals.real if self.is_complex else vals)
+            self._m2p_grad_vals = out
+
+    def m2p_merge(self) -> None:
+        """Scatter W-phase values into bodies (after :meth:`l2p` assigns)."""
+        if not self._w_rowpos.size:
+            return
+        b_idx = self.plan.body_idx[self._w_rowpos]
+        if self.want_potential:
+            np.add.at(self.pot, b_idx, self._m2p_pot_vals)
+            self._m2p_pot_vals = None
+        if self.want_gradient:
+            for k, vals in enumerate(self._m2p_grad_vals):
+                np.add.at(self.grad[:, k], b_idx, vals)
+            self._m2p_grad_vals = None
+
+    # --------------------------------------------------------------- result
+    def result(self) -> tuple[np.ndarray | None, np.ndarray | None]:
+        return self.pot, self.grad
 
 
 def laplace_far_field(
@@ -310,113 +566,56 @@ def laplace_far_field(
     """Batched far-field potential/gradient of monopoles and/or dipoles.
 
     Drop-in equivalent of :func:`repro.fmm.multipass.laplace_far_field_scalar`
-    (the per-node oracle).  ``tracer`` (a :class:`repro.obs.Tracer`) gets
+    (the per-node oracle): runs the :class:`FarFieldPass` stages serially
+    in dependency order.  ``tracer`` (a :class:`repro.obs.Tracer`) gets
     one span per FMM operation with ``applications`` in the cost-model
     units of :meth:`InteractionLists.op_counts`.
     """
-    if charges is None and dipoles is None:
-        raise ValueError("provide charges and/or dipoles")
-    exp = expansion
     if tracer is None:
         from repro.obs import NULL_TELEMETRY
 
         tracer = NULL_TELEMETRY.tracer
-    geom = far_field_geometry(tree, lists, exp)
-    plan = _leaf_body_plan(tree, lists)
-    pts = tree.points
-    q = None if charges is None else np.asarray(charges, dtype=float).reshape(-1)
-    dip = None if dipoles is None else np.atleast_2d(np.asarray(dipoles, dtype=float))
+    p = FarFieldPass(
+        tree,
+        lists,
+        expansion,
+        charges=charges,
+        dipoles=dipoles,
+        gradient=gradient,
+        potential=potential,
+    )
+    geom = p.geom
 
-    n_eff = geom.centers.shape[0]
-    nc = exp.n_coeffs
-    is_complex = exp.backend == "spherical"
-    dtype = complex if is_complex else float
-    n_bodies = plan.body_idx.size
+    with tracer.span("P2M", applications=p.n_bodies):
+        p.p2m()
 
-    # ---- P2M: per-body rows, segment-summed per leaf
-    multipoles = np.zeros((n_eff, nc), dtype=dtype)
-    with tracer.span("P2M", applications=n_bodies):
-        if n_bodies:
-            rows = None
-            if q is not None:
-                basis = _leaf_basis(exp, plan, lists, "p2m")
-                rows = q[plan.body_idx, None] * basis
-            if dip is not None:
-                drows = exp.p2m_dipole_rows(plan.rel, dip[plan.body_idx], plan.ptr)
-                rows = drows if rows is None else rows + drows
-            multipoles[geom.leaf_rows] = _segment_sum(rows, plan.ptr)
-
-    # ---- M2M: one matmul per (level, octant) class, deepest level first
     with tracer.span("M2M", applications=geom.n_shifts):
-        for crows, prows, op in geom.up_classes:
-            multipoles[prows] += multipoles[crows] @ op
+        for level in p.up_levels:
+            for ci in level:
+                p.m2m_delta(ci)
+                p.m2m_merge(ci)
 
-    # ---- M2L: one matmul per displacement class
-    locals_ = np.zeros((n_eff, nc), dtype=dtype)
     with tracer.span("M2L", applications=geom.n_m2l):
-        for srows, trows, op in geom.m2l_classes:
-            locals_[trows] += multipoles[srows] @ op
+        for ci in range(p.n_m2l_classes):
+            p.m2l_delta(ci)
+            p.m2l_merge(ci)
 
-    # ---- X phase (un-folded): batched P2L before the downward sweep
     if geom.x_recv_rows.size:
-        xpos = geom.leaf_pos[geom.x_src_rows]
-        rowpos, cnt = _expand_segments(plan.ptr, xpos)
-        with tracer.span("P2L", applications=int(rowpos.size)):
-            if rowpos.size:
-                pair_of = np.repeat(np.arange(xpos.size, dtype=np.int64), cnt)
-                b_idx = plan.body_idx[rowpos]
-                relx = pts[b_idx] - geom.centers[geom.x_recv_rows[pair_of]]
-                pair_ptr = np.concatenate(([0], np.cumsum(cnt)))
-                rows = None
-                if q is not None:
-                    rows = q[b_idx, None] * exp.p2l_basis(relx)
-                if dip is not None:
-                    drows = exp.p2l_dipole_rows(relx, dip[b_idx], pair_ptr)
-                    rows = drows if rows is None else rows + drows
-                np.add.at(locals_, geom.x_recv_rows, _segment_sum(rows, pair_ptr))
+        with tracer.span("P2L", applications=p.n_p2l_rows):
+            p.p2l_compute()
+            p.p2l_merge()
 
-    # ---- L2L: parents first (classes ordered shallowest level first)
     with tracer.span("L2L", applications=geom.n_shifts):
-        for prows, crows, op in geom.down_classes:
-            locals_[crows] += locals_[prows] @ op
+        for level in p.down_levels:
+            for ci in level:
+                p.l2l_apply(ci)
 
-    # ---- leaf evaluation: batched L2P (+ gradient)
-    pot = np.zeros(tree.n_bodies) if potential else None
-    grad = np.zeros((tree.n_bodies, 3)) if gradient else None
-    with tracer.span("L2P", applications=n_bodies):
-        if n_bodies:
-            basis = _leaf_basis(exp, plan, lists, "l2p")
-            leaf_loc = locals_[geom.leaf_rows]
-            row_loc = leaf_loc[plan.gid]
-            if potential:
-                vals = np.einsum("ij,ij->i", basis, row_loc)
-                pot[plan.body_idx] = vals.real if is_complex else vals
-            if gradient:
-                for k, A in enumerate(exp.l2p_gradient_matrices()):
-                    gk = leaf_loc @ A
-                    vals = np.einsum("ij,ij->i", basis, gk[plan.gid])
-                    grad[plan.body_idx, k] = vals.real if is_complex else vals
+    with tracer.span("L2P", applications=p.n_bodies):
+        p.l2p()
 
-    # ---- W phase (un-folded): batched M2P into target-leaf bodies
     if geom.w_tgt_rows.size:
-        tpos = geom.leaf_pos[geom.w_tgt_rows]
-        rowpos, cnt = _expand_segments(plan.ptr, tpos)
-        with tracer.span("M2P", applications=int(rowpos.size)):
-            if rowpos.size:
-                pair_of = np.repeat(np.arange(tpos.size, dtype=np.int64), cnt)
-                b_idx = plan.body_idx[rowpos]
-                relw = pts[b_idx] - geom.centers[geom.w_src_rows[pair_of]]
-                mom = multipoles[geom.w_src_rows]
-                if potential:
-                    Bw = exp.m2p_basis(relw)
-                    vals = np.einsum("ij,ij->i", Bw, mom[pair_of])
-                    np.add.at(pot, b_idx, vals.real if is_complex else vals)
-                if gradient:
-                    Bbig = exp.m2p_grad_basis(relw)
-                    for k, A in enumerate(exp.m2p_gradient_matrices()):
-                        gk = mom @ A
-                        vals = np.einsum("ij,ij->i", Bbig, gk[pair_of])
-                        np.add.at(
-                            grad[:, k], b_idx, vals.real if is_complex else vals
-                        )
-    return pot, grad
+        with tracer.span("M2P", applications=p.n_m2p_rows):
+            p.m2p_compute()
+            p.m2p_merge()
+
+    return p.result()

@@ -41,7 +41,12 @@ from repro.kernels.base import Kernel
 from repro.tree.lists import InteractionLists
 from repro.tree.octree import AdaptiveOctree
 
-__all__ = ["NearFieldPlan", "build_near_field_plan", "evaluate_near_field"]
+__all__ = [
+    "NearFieldPass",
+    "NearFieldPlan",
+    "build_near_field_plan",
+    "evaluate_near_field",
+]
 
 
 def _segment_positions(lo: np.ndarray, hi: np.ndarray):
@@ -183,6 +188,97 @@ def build_near_field_plan(tree: AdaptiveOctree, lists: InteractionLists) -> Near
     return store(_plan_from_skeleton(order, skel))
 
 
+class NearFieldPass:
+    """One P2P evaluation split into per-source-group stages.
+
+    Target leaves are *partitioned* across groups (each leaf belongs to
+    exactly one source-set group), so :meth:`group` calls write disjoint
+    body rows and may execute concurrently in any order with bitwise
+    identical results; :meth:`self_correction` must run after every group
+    (it subtracts from rows the groups wrote).  Construction resolves the
+    plan cache on the calling thread, so the stages are pure compute.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        tree: AdaptiveOctree,
+        lists: InteractionLists,
+        strengths: np.ndarray,
+        *,
+        potential: bool = True,
+        gradient: bool = False,
+    ) -> None:
+        self.kernel = kernel
+        self.plan = build_near_field_plan(tree, lists)
+        self.pts = tree.points
+        self.q = np.asarray(strengths, dtype=float)
+        self.want_potential = potential
+        self.want_gradient = gradient
+        n = tree.n_bodies
+        dim = kernel.value_dim
+        self.dim = dim
+        self.pot = None
+        if potential:
+            self.pot = np.zeros(n) if dim == 1 else np.zeros((n, dim))
+        self.grad = np.zeros((n, 3)) if gradient else None
+        self.n_groups = self.plan.n_groups
+
+    def group_pairs(self, g: int) -> int:
+        """Body-pair interactions of group ``g`` (task cost weight)."""
+        plan = self.plan
+        nt = int(plan.tgt_ptr[g + 1] - plan.tgt_ptr[g])
+        ns = int(plan.src_ptr[g + 1] - plan.src_ptr[g])
+        return nt * ns
+
+    def group(self, g: int) -> None:
+        """One dense kernel call; writes this group's target rows only."""
+        plan = self.plan
+        tp, sp = plan.tgt_ptr, plan.src_ptr
+        t_idx = plan.tgt_idx[tp[g] : tp[g + 1]]
+        s_idx = plan.src_idx[sp[g] : sp[g + 1]]
+        if t_idx.size == 0 or s_idx.size == 0:
+            return
+        tgt = self.pts[t_idx]
+        src = self.pts[s_idx]
+        qs = self.q[s_idx]
+        if self.want_potential:
+            block = self.kernel.evaluate(tgt, src, qs, exclude_self=False)
+            if self.dim == 1:
+                self.pot[t_idx] += block[:, 0]
+            else:
+                self.pot[t_idx] += block
+        if self.want_gradient:
+            self.grad[t_idx] += self.kernel.gradient(tgt, src, qs, exclude_self=False)
+
+    def group_range(self, lo: int, hi: int) -> None:
+        """Groups ``[lo, hi)`` in order — the chunked task granularity."""
+        for g in range(lo, hi):
+            self.group(g)
+
+    def self_correction(self) -> None:
+        """Subtract the self pair of bodies whose own leaf was a source.
+
+        Zero for singular kernels; one bulk call after all groups.
+        """
+        si = self.plan.self_idx
+        if not si.size:
+            return
+        if self.want_potential:
+            corr = self.kernel.self_interaction(self.pts[si], self.q[si], gradient=False)
+            if self.dim == 1:
+                self.pot[si] -= corr[:, 0]
+            else:
+                self.pot[si] -= corr
+        if self.want_gradient:
+            self.grad[si] -= self.kernel.self_interaction(
+                self.pts[si], self.q[si], gradient=True
+            )
+
+    def result(self):
+        return self.pot, self.grad
+
+
 def evaluate_near_field(
     kernel: Kernel,
     tree: AdaptiveOctree,
@@ -197,46 +293,13 @@ def evaluate_near_field(
     Returns ``(pot, grad)`` with the same shapes and semantics as the
     per-leaf near-field loop: ``pot`` is ``(n,)`` for scalar kernels and
     ``(n, value_dim)`` for vector kernels, ``grad`` is ``(n, 3)``; entries
-    for bodies outside any near pair stay zero.
+    for bodies outside any near pair stay zero.  This is the serial driver
+    over the :class:`NearFieldPass` stages (the parallel one lives in
+    :mod:`repro.runtime.graphs`).
     """
-    plan = build_near_field_plan(tree, lists)
-    pts = tree.points
-    q = np.asarray(strengths, dtype=float)
-    n = tree.n_bodies
-    dim = kernel.value_dim
-    pot = None
-    if potential:
-        pot = np.zeros(n) if dim == 1 else np.zeros((n, dim))
-    grad = np.zeros((n, 3)) if gradient else None
-
-    tp, sp = plan.tgt_ptr, plan.src_ptr
-    for g in range(plan.n_groups):
-        t_idx = plan.tgt_idx[tp[g] : tp[g + 1]]
-        s_idx = plan.src_idx[sp[g] : sp[g + 1]]
-        if t_idx.size == 0 or s_idx.size == 0:
-            continue
-        tgt = pts[t_idx]
-        src = pts[s_idx]
-        qs = q[s_idx]
-        if potential:
-            block = kernel.evaluate(tgt, src, qs, exclude_self=False)
-            if dim == 1:
-                pot[t_idx] += block[:, 0]
-            else:
-                pot[t_idx] += block
-        if gradient:
-            grad[t_idx] += kernel.gradient(tgt, src, qs, exclude_self=False)
-
-    # bodies whose own leaf was in the source block saw their self pair;
-    # subtract it in one bulk call (zero for singular kernels)
-    si = plan.self_idx
-    if si.size:
-        if potential:
-            corr = kernel.self_interaction(pts[si], q[si], gradient=False)
-            if dim == 1:
-                pot[si] -= corr[:, 0]
-            else:
-                pot[si] -= corr
-        if gradient:
-            grad[si] -= kernel.self_interaction(pts[si], q[si], gradient=True)
-    return pot, grad
+    p = NearFieldPass(
+        kernel, tree, lists, strengths, potential=potential, gradient=gradient
+    )
+    p.group_range(0, p.n_groups)
+    p.self_correction()
+    return p.result()

@@ -65,12 +65,18 @@ class StokesletFMMSolver:
         folded: bool = True,
         list_cache: ListCache | None = None,
         telemetry: Telemetry | None = None,
+        engine=None,
     ) -> None:
         self.kernel = kernel if kernel is not None else RegularizedStokesletKernel()
         self.expansion = expansion if expansion is not None else CartesianExpansion(order)
         self.folded = folded
         self.list_cache = list_cache if list_cache is not None else ListCache()
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        #: :class:`repro.runtime.engine.ExecutionEngine` or ``None``; with
+        #: >1 worker the seven passes + near field run as one task graph
+        self.engine = engine
+        #: :class:`repro.runtime.engine.EngineResult` of the last engine solve
+        self.last_engine_result = None
 
     def solve(
         self,
@@ -88,24 +94,34 @@ class StokesletFMMSolver:
         scale = 1.0 / (8.0 * np.pi * self.kernel.viscosity)
 
         u = np.zeros((tree.n_bodies, 3))
-        tracer = self.telemetry.tracer
-        # far field: phi_i (monopoles f_i), A (dipoles f), B_i (dipoles s_i f)
-        for i in range(3):
-            phi_i, _ = laplace_far_field(
-                tree, lists, self.expansion, charges=f[:, i], tracer=tracer
-            )
-            u[:, i] += phi_i
-        A, _ = laplace_far_field(tree, lists, self.expansion, dipoles=f, tracer=tracer)
-        u += pts * A[:, None]
-        for i in range(3):
-            B_i, _ = laplace_far_field(
-                tree, lists, self.expansion, dipoles=pts[:, i : i + 1] * f, tracer=tracer
-            )
-            u[:, i] -= B_i
-        u *= scale
+        if self.engine is not None and self.engine.config.parallel:
+            phis, A, Bs, u_near = self._solve_engine(tree, lists, f, pts)
+            for i in range(3):
+                u[:, i] += phis[i]
+            u += pts * A[:, None]
+            for i in range(3):
+                u[:, i] -= Bs[i]
+            u *= scale
+            u += u_near
+        else:
+            tracer = self.telemetry.tracer
+            # far field: phi_i (monopoles f_i), A (dipoles f), B_i (dipoles s_i f)
+            for i in range(3):
+                phi_i, _ = laplace_far_field(
+                    tree, lists, self.expansion, charges=f[:, i], tracer=tracer
+                )
+                u[:, i] += phi_i
+            A, _ = laplace_far_field(tree, lists, self.expansion, dipoles=f, tracer=tracer)
+            u += pts * A[:, None]
+            for i in range(3):
+                B_i, _ = laplace_far_field(
+                    tree, lists, self.expansion, dipoles=pts[:, i : i + 1] * f, tracer=tracer
+                )
+                u[:, i] -= B_i
+            u *= scale
 
-        # near field: exact regularized Stokeslets
-        u += self._near_field(tree, lists, f)
+            # near field: exact regularized Stokeslets
+            u += self._near_field(tree, lists, f)
 
         counts = lists.op_counts()
         # seven scalar passes: scale the expansion-op counts accordingly
@@ -118,3 +134,49 @@ class StokesletFMMSolver:
             self.kernel, tree, lists, f, potential=True, gradient=False
         )
         return out
+
+    # ------------------------------------------------- concurrent task graph
+    def _solve_engine(self, tree, lists, f, pts):
+        """All seven harmonic passes + the near field as one task graph.
+
+        Each pass owns private coefficient/output arrays, so the seven
+        subgraphs are fully independent and interleave freely; the first
+        pass's constructor warms the shared geometry/plan caches so the
+        remaining six build against hits.  Combination into ``u`` happens
+        after the run, in the serial pass order (bitwise identical).
+        """
+        # imported here: repro.kernels / repro.runtime package inits would cycle
+        from repro.fmm.farfield import FarFieldPass
+        from repro.fmm.nearfield import NearFieldPass
+        from repro.runtime.engine import TaskGraphBuilder
+        from repro.runtime.graphs import add_far_field_tasks, add_near_field_tasks
+
+        mk = lambda **kw: FarFieldPass(tree, lists, self.expansion, **kw)
+        phi_passes = [mk(charges=f[:, i]) for i in range(3)]
+        a_pass = mk(dipoles=f)
+        b_passes = [mk(dipoles=pts[:, i : i + 1] * f) for i in range(3)]
+        near = NearFieldPass(self.kernel, tree, lists, f, potential=True)
+
+        g = TaskGraphBuilder()
+        # seven subgraphs: fewer chunks per pass, parallelism comes across passes
+        n_chunks = max(2, self.engine.n_workers)
+        far_done = [
+            add_far_field_tasks(g, p, tag=f"{tag}:", n_chunks=n_chunks)
+            for tag, p in (
+                [(f"phi{i}", phi_passes[i]) for i in range(3)]
+                + [("A", a_pass)]
+                + [(f"B{i}", b_passes[i]) for i in range(3)]
+            )
+        ]
+        near_deps = () if self.engine.config.overlap else tuple(far_done)
+        add_near_field_tasks(
+            g, near, n_chunks=4 * self.engine.n_workers, deps=near_deps
+        )
+        self.last_engine_result = self.engine.run(g)
+        u_near, _ = near.result()
+        return (
+            [p.result()[0] for p in phi_passes],
+            a_pass.result()[0],
+            [p.result()[0] for p in b_passes],
+            u_near,
+        )

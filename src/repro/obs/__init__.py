@@ -23,9 +23,9 @@ reference step loop).
 
 from __future__ import annotations
 
-from repro.obs.drift import DriftSample, DriftTracker
+from repro.obs.drift import DriftSample, DriftTracker, RuntimeSample
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
-from repro.obs.trace import SIM_PID, WALL_PID, Span, Tracer
+from repro.obs.trace import REAL_PID, SIM_PID, WALL_PID, Span, Tracer
 
 __all__ = [
     "Counter",
@@ -35,6 +35,8 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NULL_TELEMETRY",
+    "REAL_PID",
+    "RuntimeSample",
     "SIM_PID",
     "Span",
     "Telemetry",

@@ -13,7 +13,11 @@ per step, exactly the quantities Figs. 8–9 are made of:
 * the CPU/GPU **imbalance** ``|T_CPU - T_GPU|`` the balancer is trying to
   close;
 * the per-op **coefficient trajectory**, so one can see *which*
-  coefficient drifted when the residual spikes.
+  coefficient drifted when the residual spikes;
+* the **runtime-model residual** — when the real execution engine runs a
+  step, the simulated scheduler's makespan vs. the engine's measured
+  wall-clock makespan, i.e. how honest the machine model's worker lanes
+  are against actual threads.
 
 A tracker is passive storage plus summary math; the simulation driver
 feeds it (see :meth:`repro.sim.driver.Simulation.step`) and mirrors the
@@ -28,7 +32,7 @@ from repro.costmodel.coefficients import ObservedCoefficients
 from repro.costmodel.predictor import TimePrediction
 from repro.util.records import EventLog
 
-__all__ = ["DriftSample", "DriftTracker"]
+__all__ = ["DriftSample", "DriftTracker", "RuntimeSample"]
 
 
 @dataclass(frozen=True)
@@ -65,6 +69,22 @@ class DriftSample:
         return abs(self.observed_cpu - self.observed_gpu)
 
 
+@dataclass(frozen=True)
+class RuntimeSample:
+    """Simulated-scheduler makespan vs. the engine's measured one."""
+
+    step: int
+    simulated: float  # simulated makespan, seconds
+    measured: float  # engine wall-clock makespan, seconds
+
+    @property
+    def residual(self) -> float:
+        """Signed relative error, ``(measured - simulated) / measured``."""
+        if self.measured == 0.0:
+            return 0.0
+        return (self.measured - self.simulated) / self.measured
+
+
 class DriftTracker:
     """Accumulates :class:`DriftSample` rows and coefficient trajectories."""
 
@@ -74,6 +94,8 @@ class DriftTracker:
         self.coefficient_history: dict[str, list[tuple[int, float]]] = {}
         #: steps where no prediction existed yet (coefficients not ready)
         self.unpredicted_steps = 0
+        #: simulated-vs-measured makespan rows (engine-backed steps only)
+        self.runtime_samples: list[RuntimeSample] = []
 
     # ------------------------------------------------------------- feeding
     def observe(
@@ -104,6 +126,14 @@ class DriftTracker:
         self.samples.append(sample)
         return sample
 
+    def observe_runtime(
+        self, step: int, *, simulated: float, measured: float
+    ) -> RuntimeSample:
+        """Record one engine-backed step's simulated vs. measured makespan."""
+        sample = RuntimeSample(step=step, simulated=simulated, measured=measured)
+        self.runtime_samples.append(sample)
+        return sample
+
     # ------------------------------------------------------------ reporting
     def __len__(self) -> int:
         return len(self.samples)
@@ -111,6 +141,10 @@ class DriftTracker:
     def summary(self) -> dict[str, float]:
         """Headline drift statistics over all predicted steps."""
         n = len(self.samples)
+        nr = len(self.runtime_samples)
+        runtime_residual = (
+            sum(abs(s.residual) for s in self.runtime_samples) / nr if nr else 0.0
+        )
         if n == 0:
             return {
                 "n_predicted_steps": 0,
@@ -119,6 +153,8 @@ class DriftTracker:
                 "max_abs_residual": 0.0,
                 "mean_residual": 0.0,
                 "mean_imbalance": 0.0,
+                "n_runtime_steps": nr,
+                "runtime_model_residual": runtime_residual,
             }
         residuals = [s.residual for s in self.samples]
         return {
@@ -128,6 +164,8 @@ class DriftTracker:
             "max_abs_residual": max(abs(r) for r in residuals),
             "mean_residual": sum(residuals) / n,
             "mean_imbalance": sum(s.imbalance for s in self.samples) / n,
+            "n_runtime_steps": nr,
+            "runtime_model_residual": runtime_residual,
         }
 
     def to_eventlog(self) -> EventLog:
@@ -167,4 +205,13 @@ class DriftTracker:
                 op: [{"step": st, "value": v} for st, v in series]
                 for op, series in self.coefficient_history.items()
             },
+            "runtime": [
+                {
+                    "step": s.step,
+                    "simulated": s.simulated,
+                    "measured": s.measured,
+                    "residual": s.residual,
+                }
+                for s in self.runtime_samples
+            ],
         }

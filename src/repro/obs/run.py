@@ -45,8 +45,16 @@ def run(
     strategy: str = "full",
     forces: str = "direct",
     velocity_scale: float = 1.5,
+    workers: int | None = 1,
 ) -> tuple[Simulation, Telemetry]:
-    """Run ``steps`` time steps of the §IX-A workload with telemetry on."""
+    """Run ``steps`` time steps of the §IX-A workload with telemetry on.
+
+    ``workers`` sets the execution-engine thread count for the numeric
+    FMM solves (``--workers`` on the CLI): ``1`` is the serial path, more
+    runs the real task-graph engine and adds "real workers" lanes plus the
+    ``runtime_model_residual`` metric to the artifacts; only meaningful
+    with ``forces="fmm"``.
+    """
     telemetry = Telemetry()
     particles = compact_plummer(
         n, seed=seed, total_mass=1.0, velocity_scale=velocity_scale
@@ -60,9 +68,13 @@ def run(
         strategy=strategy,
         balancer=BalancerConfig(gap_threshold_frac=0.15, s_min=8, s_max=4096),
         seed=seed,
+        n_workers=workers,
     )
     sim = Simulation(particles, kernel, machine, config=config, telemetry=telemetry)
-    sim.run(steps)
+    try:
+        sim.run(steps)
+    finally:
+        sim.close()
     return sim, telemetry
 
 

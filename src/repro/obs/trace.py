@@ -2,7 +2,7 @@
 
 The tracer answers one question the paper's feedback loop otherwise keeps
 invisible: *where did a step's wall-clock go, and what did the simulated
-machine do with it?*  Two kinds of lanes coexist in one trace file:
+machine do with it?*  Three kinds of lanes coexist in one trace file:
 
 * **wall-clock spans** — nested context-manager sections of the real
   Python process (tree build, far field, near field, balancer), one trace
@@ -12,6 +12,10 @@ machine do with it?*  Two kinds of lanes coexist in one trace file:
   on a second trace "process" whose timebase is simulated seconds.
   Successive schedules are laid end to end on a per-process cursor, so a
   30-step run reads as 30 consecutive schedules per worker lane.
+* **real worker lanes** — *measured* per-task intervals from the
+  thread-pool execution engine (:mod:`repro.runtime.engine`), one lane
+  per pool thread on a third process (``REAL_PID``), directly comparable
+  against the simulated scheduler's prediction next door.
 
 Disabled tracers are hard no-ops: :meth:`Tracer.span` returns a shared
 singleton context manager and every other entry point returns before
@@ -33,12 +37,15 @@ import json
 import time
 from typing import Any, Callable, Iterable
 
-__all__ = ["Span", "Tracer", "WALL_PID", "SIM_PID"]
+__all__ = ["Span", "Tracer", "WALL_PID", "SIM_PID", "REAL_PID"]
 
 #: trace-process id of the real (wall-clock) Python process
 WALL_PID = 1
 #: trace-process id hosting simulated scheduler worker lanes
 SIM_PID = 2
+#: trace-process id hosting *measured* execution-engine worker lanes
+#: (one lane per pool thread; see :mod:`repro.runtime.engine`)
+REAL_PID = 3
 
 
 class _NullSpan:
@@ -254,6 +261,14 @@ class Tracer:
                 "tid": 0,
                 "ts": 0,
                 "args": {"name": "simulated scheduler"},
+            },
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": REAL_PID,
+                "tid": 0,
+                "ts": 0,
+                "args": {"name": "real workers"},
             },
             {
                 "ph": "M",

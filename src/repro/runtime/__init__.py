@@ -1,8 +1,19 @@
-"""OpenMP-style task runtime: task DAG extraction from the FMM traversals
-and a discrete-event simulator of a work-stealing scheduler."""
+"""Task runtime: the simulated work-stealing scheduler (task DAG
+extraction + discrete-event simulation) and the *real* dependency-driven
+thread-pool execution engine that runs the batched FMM pipeline
+concurrently (:mod:`repro.runtime.engine`, :mod:`repro.runtime.graphs`)."""
 
 from repro.runtime.tasks import Task, TaskGraph, build_fmm_task_graph, build_treebuild_task_graph
 from repro.runtime.scheduler import CPUSpec, ScheduleResult, simulate_schedule
+from repro.runtime.engine import (
+    EngineConfig,
+    EngineResult,
+    ExecutionEngine,
+    TaskGraphBuilder,
+    TaskInterval,
+    TaskNode,
+    default_workers,
+)
 
 __all__ = [
     "Task",
@@ -12,4 +23,11 @@ __all__ = [
     "CPUSpec",
     "ScheduleResult",
     "simulate_schedule",
+    "EngineConfig",
+    "EngineResult",
+    "ExecutionEngine",
+    "TaskGraphBuilder",
+    "TaskInterval",
+    "TaskNode",
+    "default_workers",
 ]

@@ -1,0 +1,239 @@
+"""Task-graph construction for the real FMM pipeline.
+
+Bridges the stage-level decompositions of :class:`repro.fmm.farfield.FarFieldPass`
+and :class:`repro.fmm.nearfield.NearFieldPass` to the execution engine's
+:class:`~repro.runtime.engine.TaskGraphBuilder`.  The DAG shape per
+far-field pass:
+
+::
+
+    P2M ──> [M2M deltas lvl d] ─> merge(d) ─> ... ─> merge(1)   (upsweep)
+                                                        │
+              ┌──────────── upsweep done ───────────────┤
+              │                                         │
+    [M2L chunk deltas, parallel]     [M2P compute]      │
+        │ chained chunk merges            │
+        ▼ (class order)                   │
+    P2L merge (X phase)                   │
+        ▼                                 │
+    [L2L classes lvl 1] ─> ... ─> [lvl D] ─> L2P ─> M2P merge
+
+Independent M2L displacement-class matmuls carry essentially all of the
+far-field work, so they are chunked into contiguous class ranges of
+roughly equal pair weight; their *merges* into the shared local-expansion
+array form a chain in class order, which pins the floating-point addition
+order to the serial sweep's and makes results bitwise identical at any
+worker count.  Near-field source-set groups partition the target bodies,
+so their chunks run unordered with no merge step at all; with
+``overlap=True`` they share the graph with the far-field subgraphs and
+soak up worker idle time during the (more serial) sweep phases — the
+paper's ``max(T_CPU, T_GPU)`` overlap, realized on actual threads.
+
+Every task is tagged with its cost-model ``op`` and an ``applications``
+count in :meth:`InteractionLists.op_counts` units, so an
+:class:`~repro.runtime.engine.EngineResult` aggregates measured wall-clock
+straight into §IV-D observed coefficients.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from repro.fmm.farfield import FarFieldPass
+from repro.fmm.nearfield import NearFieldPass
+from repro.runtime.engine import TaskGraphBuilder
+
+__all__ = [
+    "add_far_field_tasks",
+    "add_near_field_tasks",
+    "chunk_ranges",
+]
+
+
+def chunk_ranges(weights, n_chunks: int) -> list[tuple[int, int]]:
+    """Split ``range(len(weights))`` into <= ``n_chunks`` contiguous runs
+    of roughly equal total weight (zero-weight tails are not split off).
+
+    Contiguity matters: chunked merges replay in chunk-then-class order,
+    which must equal plain class order.
+    """
+    n = len(weights)
+    if n == 0:
+        return []
+    n_chunks = max(1, min(n, n_chunks))
+    total = float(sum(weights))
+    if total <= 0.0:
+        return [(0, n)]
+    target = total / n_chunks
+    ranges: list[tuple[int, int]] = []
+    lo = 0
+    acc = 0.0
+    for i, w in enumerate(weights):
+        acc += float(w)
+        # keep the last chunk open so it absorbs the remainder
+        if acc >= target and len(ranges) < n_chunks - 1:
+            ranges.append((lo, i + 1))
+            lo = i + 1
+            acc = 0.0
+    if lo < n:
+        ranges.append((lo, n))
+    return ranges
+
+
+def add_far_field_tasks(
+    g: TaskGraphBuilder,
+    p: FarFieldPass,
+    *,
+    tag: str = "",
+    n_chunks: int = 8,
+) -> int:
+    """Add one far-field pass's stage tasks to ``g``; returns the id of
+    the task after which the pass's outputs (``p.pot``/``p.grad``) are
+    complete.  ``tag`` prefixes labels (the Stokeslet solver runs seven
+    passes in one graph); ``n_chunks`` bounds the M2L chunk fan-out.
+    """
+    geom = p.geom
+    t_p2m = g.add(p.p2m, label=f"{tag}P2M", op="P2M", applications=p.n_bodies)
+
+    # ---- upsweep: per-class deltas, one ordered merge per level
+    prev = t_p2m
+    for level in p.up_levels:
+        deltas = [
+            g.add(
+                partial(p.m2m_delta, ci),
+                label=f"{tag}M2M:c{ci}",
+                deps=(prev,),
+                op="M2M",
+                applications=int(geom.up_classes[ci][0].size),
+            )
+            for ci in level
+        ]
+        prev = g.add(
+            partial(_merge_up_level, p, tuple(level)),
+            label=f"{tag}M2M:merge",
+            deps=tuple(deltas),
+            op="M2M",
+        )
+    upsweep_done = prev
+
+    # ---- M2L: chunked class deltas fanning out, merge chain in class order
+    weights = [int(geom.m2l_classes[ci][0].size) for ci in range(p.n_m2l_classes)]
+    translate_done = upsweep_done
+    merge_prev: int | None = None
+    for lo, hi in chunk_ranges(weights, n_chunks):
+        delta = g.add(
+            partial(_m2l_delta_range, p, lo, hi),
+            label=f"{tag}M2L:d{lo}-{hi}",
+            deps=(upsweep_done,),
+            op="M2L",
+            applications=int(sum(weights[lo:hi])),
+        )
+        merge_deps = (delta,) if merge_prev is None else (delta, merge_prev)
+        merge_prev = g.add(
+            partial(_m2l_merge_range, p, lo, hi),
+            label=f"{tag}M2L:m{lo}-{hi}",
+            deps=merge_deps,
+            op="M2L",
+        )
+    if merge_prev is not None:
+        translate_done = merge_prev
+
+    # ---- X phase: compute depends on nothing (reads sources only); its
+    # merge lands after every M2L class merge, matching the serial order
+    if geom.x_recv_rows.size:
+        t_p2l = g.add(
+            p.p2l_compute, label=f"{tag}P2L", op="P2L", applications=p.n_p2l_rows
+        )
+        translate_done = g.add(
+            p.p2l_merge,
+            label=f"{tag}P2L:merge",
+            deps=(translate_done, t_p2l),
+            op="P2L",
+        )
+
+    # ---- downsweep: classes of one level are scatter-disjoint (each
+    # child row belongs to one octant class), so they run concurrently;
+    # levels form barriers
+    prev_level: tuple[int, ...] = (translate_done,)
+    for level in p.down_levels:
+        prev_level = tuple(
+            g.add(
+                partial(p.l2l_apply, ci),
+                label=f"{tag}L2L:c{ci}",
+                deps=prev_level,
+                op="L2L",
+                applications=int(geom.down_classes[ci][1].size),
+            )
+            for ci in level
+        )
+
+    t_l2p = g.add(
+        p.l2p, label=f"{tag}L2P", deps=prev_level, op="L2P", applications=p.n_bodies
+    )
+    done = t_l2p
+
+    # ---- W phase: evaluation reads finished multipoles; scatter must
+    # follow L2P's assignment into the same body rows
+    if geom.w_tgt_rows.size:
+        t_m2p = g.add(
+            p.m2p_compute,
+            label=f"{tag}M2P",
+            deps=(upsweep_done,),
+            op="M2P",
+            applications=p.n_m2p_rows,
+        )
+        done = g.add(
+            p.m2p_merge, label=f"{tag}M2P:merge", deps=(t_l2p, t_m2p), op="M2P"
+        )
+    return done
+
+
+def add_near_field_tasks(
+    g: TaskGraphBuilder,
+    p: NearFieldPass,
+    *,
+    tag: str = "near",
+    n_chunks: int = 8,
+    deps: tuple[int, ...] = (),
+) -> int:
+    """Add the P2P stage tasks; returns the id of the finishing task.
+
+    ``deps`` is empty when the near field overlaps the far field and a
+    barrier id when ``overlap=False``.
+    """
+    weights = [p.group_pairs(i) for i in range(p.n_groups)]
+    group_tasks = [
+        g.add(
+            partial(p.group_range, lo, hi),
+            label=f"{tag}:g{lo}-{hi}",
+            deps=deps,
+            op="P2P",
+            applications=int(sum(weights[lo:hi])),
+        )
+        for lo, hi in chunk_ranges(weights, n_chunks)
+    ]
+    return g.add(
+        p.self_correction,
+        label=f"{tag}:self",
+        deps=tuple(group_tasks) if group_tasks else deps,
+        op="P2P",
+    )
+
+
+# ---- bound helpers (picklable/partial-friendly, and kept off the hot
+# closures so labels stay informative in traces)
+
+
+def _merge_up_level(p: FarFieldPass, cis: tuple[int, ...]) -> None:
+    for ci in cis:
+        p.m2m_merge(ci)
+
+
+def _m2l_delta_range(p: FarFieldPass, lo: int, hi: int) -> None:
+    for ci in range(lo, hi):
+        p.m2l_delta(ci)
+
+
+def _m2l_merge_range(p: FarFieldPass, lo: int, hi: int) -> None:
+    for ci in range(lo, hi):
+        p.m2l_merge(ci)

@@ -30,7 +30,8 @@ from repro.kernels.base import Kernel
 from repro.kernels.direct import direct_evaluate
 from repro.machine.executor import HeterogeneousExecutor
 from repro.machine.spec import MachineSpec
-from repro.obs import NULL_TELEMETRY, Telemetry
+from repro.obs import NULL_TELEMETRY, REAL_PID, Telemetry
+from repro.runtime.engine import EngineConfig, ExecutionEngine
 from repro.sim.integrators import LeapfrogIntegrator, reflect_into_box
 from repro.tree.cache import ListCache
 from repro.tree.octree import AdaptiveOctree
@@ -54,12 +55,21 @@ class SimulationConfig:
     balancer: BalancerConfig = field(default_factory=BalancerConfig)
     initial_S: int | None = None
     seed: int = 0
+    #: execution-engine worker threads for the numeric FMM solves:
+    #: ``None`` = one per CPU (engine default), ``1`` = the exact serial
+    #: path reusing today's monolithic sweeps
+    n_workers: int | None = None
+    #: let near-field tasks overlap the far-field sweep (the paper's
+    #: ``max(T_CPU, T_GPU)`` semantics on real threads)
+    overlap: bool = True
 
     def __post_init__(self) -> None:
         if self.forces not in ("fmm", "direct"):
             raise ValueError(f"forces must be 'fmm' or 'direct', got {self.forces!r}")
         if self.strategy not in ("static", "enforce", "full"):
             raise ValueError(f"unknown strategy {self.strategy!r}")
+        if self.n_workers is not None and self.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
 
 
 @dataclass
@@ -121,6 +131,15 @@ class Simulation:
             initial_S=self.config.initial_S,
             mode=self.config.strategy,
         )
+        #: real thread-pool engine for the numeric solves (None when the
+        #: config resolves to 1 worker or forces are direct-summed)
+        self.engine: ExecutionEngine | None = None
+        if self.config.forces == "fmm":
+            engine_config = EngineConfig(
+                n_workers=self.config.n_workers, overlap=self.config.overlap
+            )
+            if engine_config.parallel:
+                self.engine = ExecutionEngine(engine_config)
         self.solver = (
             FMMSolver(
                 kernel,
@@ -128,6 +147,7 @@ class Simulation:
                 folded=self.config.folded,
                 list_cache=self.list_cache,
                 telemetry=self.telemetry,
+                engine=self.engine,
             )
             if self.config.forces == "fmm"
             else None
@@ -137,6 +157,11 @@ class Simulation:
         self.log = EventLog()
         self.step_index = 0
         self._needs_rebuild = True
+
+    def close(self) -> None:
+        """Shut down the execution engine's thread pool (if any)."""
+        if self.engine is not None:
+            self.engine.close()
 
     # -------------------------------------------------------------- physics
     def _accelerations(self, tree: AdaptiveOctree, lists) -> np.ndarray:
@@ -279,6 +304,33 @@ class Simulation:
                 "|T_CPU - T_GPU| of the last step",
             ).set(sample.imbalance)
             tel.tracer.counter("drift-residual", sample.residual)
+        self._record_engine_telemetry(timing)
+
+    def _record_engine_telemetry(self, timing) -> None:
+        """Export the last engine run: real worker lanes next to the
+        simulated scheduler's, and the runtime-model residual (simulated
+        makespan vs. measured wall-clock)."""
+        tel = self.telemetry
+        res = self.solver.last_engine_result if self.solver is not None else None
+        if res is None:
+            return
+        self.solver.last_engine_result = None
+        tel.tracer.add_worker_lanes(
+            res.timeline(), pid=REAL_PID, makespan=res.makespan, phase="engine"
+        )
+        rs = tel.drift.observe_runtime(
+            self.step_index, simulated=timing.compute_time, measured=res.makespan
+        )
+        tel.metrics.gauge(
+            "runtime_model_residual",
+            "signed relative error of the simulated makespan vs the engine's "
+            "measured wall-clock, (measured - simulated) / measured",
+        ).set(rs.residual)
+        tel.metrics.gauge(
+            "runtime_engine_utilization",
+            "busy-time / (makespan x workers) of the last engine run",
+        ).set(res.utilization)
+        self.executor.observe_real_registry(res.op_registry())
 
     # ------------------------------------------------------------- summaries
     def summary(self) -> dict[str, float]:

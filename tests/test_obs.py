@@ -2,6 +2,7 @@
 
 import json
 
+import numpy as np
 import pytest
 
 from repro.balance.config import BalancerConfig
@@ -15,7 +16,7 @@ from repro.obs import (
     Telemetry,
     Tracer,
 )
-from repro.obs.trace import _NULL_SPAN, SIM_PID, WALL_PID
+from repro.obs.trace import _NULL_SPAN, REAL_PID, SIM_PID, WALL_PID
 from repro.costmodel.predictor import TimePrediction
 from repro.sim.driver import Simulation, SimulationConfig
 
@@ -212,9 +213,24 @@ class TestDrift:
         log = d.to_eventlog()
         assert log.column("residual") == pytest.approx([0.5, 0.5, 0.5])
 
+    def test_runtime_residual_math(self):
+        d = DriftTracker()
+        # engine took twice as long as the schedule simulation predicted
+        s = d.observe_runtime(0, simulated=0.5, measured=1.0)
+        assert s.residual == pytest.approx(0.5)
+        # engine beat the simulated makespan: negative residual
+        s = d.observe_runtime(1, simulated=1.2, measured=1.0)
+        assert s.residual == pytest.approx(-0.2)
+        # degenerate zero measurement must not divide by zero
+        assert d.observe_runtime(2, simulated=0.1, measured=0.0).residual == 0.0
+        summary = d.summary()
+        assert summary["n_runtime_steps"] == 3
+        assert summary["runtime_model_residual"] == pytest.approx((0.5 + 0.2) / 3)
+        assert len(d.as_dict()["runtime"]) == 3
+
 
 # ------------------------------------------------------------ instrumentation
-def _run_instrumented(steps=20, n=800, **cfg_kwargs):
+def _run_instrumented(steps=20, n=800, forces="direct", **cfg_kwargs):
     telemetry = Telemetry()
     ps = compact_plummer(n, seed=0, total_mass=1.0, velocity_scale=1.5)
     sim = Simulation(
@@ -223,14 +239,17 @@ def _run_instrumented(steps=20, n=800, **cfg_kwargs):
         system_a().with_resources(n_cores=6, n_gpus=2),
         config=SimulationConfig(
             dt=1e-4,
-            forces="direct",
+            forces=forces,
             strategy="full",
             balancer=BalancerConfig(gap_threshold_frac=0.15, s_min=8, s_max=2048),
             **cfg_kwargs,
         ),
         telemetry=telemetry,
     )
-    sim.run(steps)
+    try:
+        sim.run(steps)
+    finally:
+        sim.close()
     return sim, telemetry
 
 
@@ -298,6 +317,63 @@ class TestInstrumentedSimulation:
         assert sim.telemetry is NULL_TELEMETRY
         assert len(NULL_TELEMETRY.tracer) == 0
         assert len(NULL_TELEMETRY.drift) == before_drift
+
+
+class TestEngineInstrumentation:
+    """An FMM run through the real thread-pool engine exports its worker
+    timelines as a third Perfetto process and feeds the runtime-model
+    drift metric (simulated makespan vs. measured wall-clock)."""
+
+    @pytest.fixture(scope="class")
+    def engine_run(self):
+        return _run_instrumented(steps=5, n=500, forces="fmm", n_workers=2)
+
+    def test_real_worker_lanes_present(self, engine_run):
+        _, tel = engine_run
+        lanes = [
+            e for e in tel.tracer.events if e.get("pid") == REAL_PID and e["ph"] == "X"
+        ]
+        assert lanes, "engine runs exported no real worker intervals"
+        assert {e["tid"] for e in lanes} <= {0, 1}
+        # lanes never overlap within one worker thread
+        by_worker = {}
+        for e in sorted(lanes, key=lambda e: (e["tid"], e["ts"])):
+            prev_end = by_worker.get(e["tid"], 0.0)
+            assert e["ts"] >= prev_end - 1e-6
+            by_worker[e["tid"]] = e["ts"] + e["dur"]
+        # engine task labels, not scheduler op names
+        names = {e["name"] for e in lanes}
+        assert any(name.startswith("M2L") for name in names)
+        assert any(name.startswith("near") for name in names)
+
+    def test_real_workers_process_named(self, engine_run):
+        _, tel = engine_run
+        doc = json.loads(tel.tracer.to_json())
+        meta = {
+            ev["pid"]: ev["args"]["name"]
+            for ev in doc["traceEvents"]
+            if ev["ph"] == "M" and ev["name"] == "process_name"
+        }
+        assert meta.get(REAL_PID) == "real workers"
+        assert meta.get(SIM_PID) == "simulated scheduler"
+
+    def test_runtime_model_residual_tracked(self, engine_run):
+        _, tel = engine_run
+        summary = tel.drift.summary()
+        assert summary["n_runtime_steps"] == 5
+        assert np.isfinite(summary["runtime_model_residual"])
+        snap = tel.metrics.snapshot()
+        assert any(k.startswith("runtime_model_residual") for k in snap)
+        assert any(k.startswith("runtime_engine_utilization") for k in snap)
+
+    def test_real_coefficients_observed(self, engine_run):
+        sim, tel = engine_run
+        coeffs = sim.executor.real_coeffs.as_dict()
+        assert coeffs["M2L"] > 0.0
+        snap = tel.metrics.snapshot()
+        assert any("cpu-real" in k for k in snap)
+
+
 
 
 class _FakeClock:

@@ -1,0 +1,297 @@
+"""Tests for the real execution engine and its FMM task graphs.
+
+Two layers:
+
+* **engine mechanics** — dependency ordering, cycle detection, failure
+  propagation, interval/lane bookkeeping, the §IV-D op registry;
+* **the determinism contract** — the whole point of the delta/ordered-merge
+  design: running the real far+near pipeline on 1, 2, or ``cpu_count``
+  threads produces **bitwise identical** potentials and gradients, for
+  Laplace on both expansion backends and for the Stokeslet 7-pass solve,
+  and repeated parallel runs are identical to each other even though
+  thread interleavings differ.
+"""
+
+import os
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.distributions.generators import gaussian_blobs, plummer, uniform_cube
+from repro.expansions.cartesian import CartesianExpansion
+from repro.expansions.spherical import SphericalExpansion
+from repro.fmm.evaluator import FMMSolver
+from repro.kernels import LaplaceKernel
+from repro.kernels.stokeslet_fmm import StokesletFMMSolver
+from repro.runtime.engine import (
+    EngineConfig,
+    ExecutionEngine,
+    TaskGraphBuilder,
+    default_workers,
+)
+from repro.runtime.graphs import chunk_ranges
+from repro.tree import AdaptiveOctree, build_interaction_lists
+
+_FAMILIES = {
+    "plummer": plummer,
+    "blobs": gaussian_blobs,
+    "uniform": uniform_cube,
+}
+_BACKENDS = {"cartesian": CartesianExpansion, "spherical": SphericalExpansion}
+
+#: the ISSUE's worker-count sweep: serial fallback, smallest real pool,
+#: one thread per visible CPU
+_WORKER_COUNTS = sorted({1, 2, os.cpu_count() or 1})
+
+
+# --------------------------------------------------------------------------
+# engine mechanics
+# --------------------------------------------------------------------------
+
+
+class TestEngineConfig:
+    def test_defaults(self):
+        cfg = EngineConfig()
+        assert cfg.resolved_workers() == default_workers() >= 1
+        assert cfg.overlap
+
+    def test_serial_is_not_parallel(self):
+        assert not EngineConfig(n_workers=1).parallel
+        assert EngineConfig(n_workers=2).parallel
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            EngineConfig(n_workers=0).resolved_workers()
+
+
+class TestGraphBuilder:
+    def test_ids_are_sequential(self):
+        g = TaskGraphBuilder()
+        a = g.add(lambda: None, label="a")
+        b = g.add(lambda: None, label="b", deps=(a,))
+        assert (a, b) == (0, 1) and len(g) == 2
+
+    def test_forward_dep_rejected(self):
+        g = TaskGraphBuilder()
+        with pytest.raises(ValueError):
+            g.add(lambda: None, label="bad", deps=(0,))
+
+    def test_barrier_joins(self):
+        g = TaskGraphBuilder()
+        ids = [g.add(lambda: None, label=f"t{i}") for i in range(3)]
+        bar = g.barrier(ids)
+        assert g.nodes[bar].deps == tuple(ids)
+
+
+@pytest.mark.parametrize("n_workers", _WORKER_COUNTS)
+class TestEngineExecution:
+    def test_dependency_order_respected(self, n_workers):
+        """Every task observes all of its dependencies' effects."""
+        done: set[str] = set()
+        lock = threading.Lock()
+        order_ok: list[bool] = []
+
+        def mk(name, needs):
+            def fn():
+                with lock:
+                    order_ok.append(all(d in done for d in needs))
+                    done.add(name)
+
+            return fn
+
+        g = TaskGraphBuilder()
+        a = g.add(mk("a", []), label="a")
+        b = g.add(mk("b", ["a"]), label="b", deps=(a,))
+        c = g.add(mk("c", ["a"]), label="c", deps=(a,))
+        g.add(mk("d", ["b", "c"]), label="d", deps=(b, c))
+        with ExecutionEngine(n_workers=n_workers) as eng:
+            res = eng.run(g)
+        assert all(order_ok) and len(done) == 4
+        assert res.n_tasks == 4 and len(res.intervals) == 4
+
+    def test_intervals_sane(self, n_workers):
+        g = TaskGraphBuilder()
+        for i in range(20):
+            g.add(lambda: sum(range(500)), label=f"t{i}")
+        with ExecutionEngine(n_workers=n_workers) as eng:
+            res = eng.run(g)
+        assert res.n_workers == n_workers
+        workers = {iv.worker for iv in res.intervals}
+        assert workers <= set(range(n_workers))
+        for iv in res.intervals:
+            assert 0.0 <= iv.start <= iv.end <= res.makespan + 1e-9
+        # per-lane intervals never overlap (a thread runs one task at a time)
+        for w in workers:
+            lane = sorted(
+                (iv for iv in res.intervals if iv.worker == w),
+                key=lambda iv: iv.start,
+            )
+            for prev, nxt in zip(lane, lane[1:]):
+                assert prev.end <= nxt.start + 1e-9
+
+    def test_exception_propagates(self, n_workers):
+        g = TaskGraphBuilder()
+        g.add(lambda: None, label="ok")
+        boom = g.add(lambda: 1 / 0, label="boom")
+        g.add(lambda: None, label="after", deps=(boom,))
+        with ExecutionEngine(n_workers=n_workers) as eng:
+            with pytest.raises(ZeroDivisionError):
+                eng.run(g)
+
+    def test_empty_graph(self, n_workers):
+        with ExecutionEngine(n_workers=n_workers) as eng:
+            res = eng.run(TaskGraphBuilder())
+        assert res.n_tasks == 0 and res.makespan == 0.0
+
+
+def test_cycle_detected():
+    """A cycle (hand-built, the builder forbids forward deps) raises."""
+    g = TaskGraphBuilder()
+    a = g.add(lambda: None, label="a")
+    b = g.add(lambda: None, label="b", deps=(a,))
+    g.nodes[a].deps = (b,)  # a <-> b
+    for n_workers in (1, 2):
+        with ExecutionEngine(n_workers=n_workers) as eng:
+            with pytest.raises(RuntimeError, match="cycle"):
+                eng.run(g)
+
+
+def test_op_registry_aggregates_tagged_tasks():
+    g = TaskGraphBuilder()
+    g.add(lambda: None, label="m1", op="M2L", applications=10)
+    g.add(lambda: None, label="m2", op="M2L", applications=5)
+    g.add(lambda: None, label="p", op="P2P", applications=7)
+    g.add(lambda: None, label="untagged")
+    with ExecutionEngine(n_workers=1) as eng:
+        reg = eng.run(g).op_registry()
+    assert reg.timers["M2L"].count == 15
+    assert reg.timers["P2P"].count == 7
+    assert set(reg.timers) == {"M2L", "P2P"}
+    assert reg.timers["M2L"].total_time > 0.0
+
+
+def test_chunk_ranges_partition():
+    ranges = chunk_ranges([5, 1, 1, 1, 8, 1, 1], 3)
+    # contiguous, complete, in order
+    assert ranges[0][0] == 0 and ranges[-1][1] == 7
+    for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
+        assert hi == lo
+    assert len(ranges) <= 3
+    assert chunk_ranges([], 4) == []
+    assert chunk_ranges([3, 3], 8) == [(0, 1), (1, 2)]
+
+
+# --------------------------------------------------------------------------
+# the determinism contract on the real pipeline
+# --------------------------------------------------------------------------
+
+
+def _laplace_results(tree, lists, q, backend, order, engine):
+    solver = FMMSolver(
+        LaplaceKernel(softening=1e-3),
+        expansion=_BACKENDS[backend](order),
+        engine=engine,
+    )
+    res = solver.solve(tree, q, gradient=True, lists=lists)
+    return res.potential, res.gradient, solver
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    family=st.sampled_from(sorted(_FAMILIES)),
+    n=st.integers(min_value=60, max_value=500),
+    S=st.integers(min_value=1, max_value=32),
+    seed=st.integers(min_value=0, max_value=2**16),
+    folded=st.booleans(),
+    backend=st.sampled_from(sorted(_BACKENDS)),
+    overlap=st.booleans(),
+)
+def test_laplace_bitwise_identical_across_workers(
+    family, n, S, seed, folded, backend, overlap
+):
+    """Engine runs at {1, 2, cpu_count} workers == the serial path, bitwise."""
+    pts = _FAMILIES[family](n, seed=seed).positions
+    tree = AdaptiveOctree(pts, S=S)
+    lists = build_interaction_lists(tree, folded=folded)
+    q = np.random.default_rng(seed).uniform(-1, 1, n)
+
+    ref_pot, ref_grad, _ = _laplace_results(tree, lists, q, backend, 3, None)
+    for n_workers in _WORKER_COUNTS:
+        with ExecutionEngine(n_workers=n_workers, overlap=overlap) as eng:
+            pot, grad, solver = _laplace_results(tree, lists, q, backend, 3, eng)
+        assert np.array_equal(pot, ref_pot), (n_workers, "potential")
+        assert np.array_equal(grad, ref_grad), (n_workers, "gradient")
+        if n_workers > 1:
+            assert solver.last_engine_result is not None
+            assert solver.last_engine_result.n_workers == n_workers
+
+
+@pytest.mark.parametrize("folded", [True, False], ids=["folded", "unfolded"])
+def test_stokeslet_bitwise_identical_across_workers(folded):
+    """The 7-pass Stokeslet solve matches serial bitwise at every width."""
+    rng = np.random.default_rng(5)
+    n = 400
+    pts = plummer(n, seed=5).positions
+    f = rng.standard_normal((n, 3))
+    tree = AdaptiveOctree(pts, S=16)
+
+    ref = StokesletFMMSolver(order=3, folded=folded).solve(tree, f).velocity
+    for n_workers in _WORKER_COUNTS:
+        with ExecutionEngine(n_workers=n_workers) as eng:
+            solver = StokesletFMMSolver(order=3, folded=folded, engine=eng)
+            u = solver.solve(tree, f).velocity
+        assert np.array_equal(u, ref), n_workers
+        if n_workers > 1:
+            res = solver.last_engine_result
+            assert res is not None
+            # seven far-field subgraphs + the near-field tasks ran
+            labels = {iv.label.split(":")[0] for iv in res.intervals}
+            assert {"phi0", "phi1", "phi2", "A", "B0", "B1", "B2", "near"} <= labels
+
+
+def test_repeated_parallel_runs_are_identical():
+    """Same graph, different thread interleavings, identical bits."""
+    n = 600
+    pts = gaussian_blobs(n, seed=13).positions
+    tree = AdaptiveOctree(pts, S=8)
+    lists = build_interaction_lists(tree, folded=True)
+    q = np.random.default_rng(13).uniform(-1, 1, n)
+
+    runs = []
+    with ExecutionEngine(n_workers=max(2, os.cpu_count() or 2)) as eng:
+        solver = FMMSolver(LaplaceKernel(softening=1e-3), order=3, engine=eng)
+        for _ in range(5):
+            res = solver.solve(tree, q, gradient=True, lists=lists)
+            runs.append((res.potential.copy(), res.gradient.copy()))
+    for pot, grad in runs[1:]:
+        assert np.array_equal(pot, runs[0][0])
+        assert np.array_equal(grad, runs[0][1])
+
+
+def test_overlap_off_defers_near_field():
+    """With overlap disabled every near-field task starts after the far
+    field's last task finished (the serial max(T_CPU, T_GPU) degenerates
+    to a barrier)."""
+    n = 500
+    pts = plummer(n, seed=21).positions
+    tree = AdaptiveOctree(pts, S=16)
+    lists = build_interaction_lists(tree, folded=True)
+    q = np.random.default_rng(21).uniform(-1, 1, n)
+
+    with ExecutionEngine(n_workers=2, overlap=False) as eng:
+        solver = FMMSolver(LaplaceKernel(softening=1e-3), order=3, engine=eng)
+        solver.solve(tree, q, lists=lists)
+        res = solver.last_engine_result
+    near = [iv for iv in res.intervals if iv.label.startswith("near")]
+    far_end = max(
+        iv.end for iv in res.intervals if not iv.label.startswith("near")
+    )
+    assert near
+    assert all(iv.start >= far_end - 1e-9 for iv in near)
