@@ -9,9 +9,14 @@ Usage::
     python -m repro fig7 --n 50000
     python -m repro trace --n 2000 --steps 30 --out trace.json
     python -m repro trace --forces fmm --workers 4
+    python -m repro trace --forces fmm --checkpoint-every 10 --checkpoint ckpt
+    python -m repro trace --forces fmm --resume ckpt --steps 10
 
 Options are forwarded as keyword arguments to the experiment's ``run``;
-integers and floats are parsed automatically.
+integers and floats are parsed automatically.  ``--checkpoint-every K``
+writes ``{stem}.npz`` + ``{stem}.json`` every K steps; ``--resume STEM``
+restores from those files and continues bitwise-identically (the resuming
+command must repeat the same physics flags — see DESIGN.md §11).
 """
 
 from __future__ import annotations
@@ -100,13 +105,18 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     cmd, *rest = argv
     kwargs = _parse_kwargs(rest)
-    if cmd in COMMANDS:
-        COMMANDS[cmd][1](**kwargs)
-        return 0
-    if cmd in ABLATIONS:
-        log = ABLATIONS[cmd](**kwargs)
-        print(log.to_table())
-        return 0
+    try:
+        if cmd in COMMANDS:
+            COMMANDS[cmd][1](**kwargs)
+            return 0
+        if cmd in ABLATIONS:
+            log = ABLATIONS[cmd](**kwargs)
+            print(log.to_table())
+            return 0
+    except (ValueError, TypeError) as exc:
+        # Bad flag values (e.g. --workers 0, --dt 0) surface as a clean
+        # one-line CLI error instead of a traceback.
+        raise SystemExit(f"error: {exc}") from exc
     raise SystemExit(f"unknown command {cmd!r}; try 'python -m repro list'")
 
 

@@ -35,6 +35,13 @@ class BalancerConfig:
     #: master switch for FineGrainedOptimize (Fig. 10 runs one simulation
     #: with it and one without)
     fgo_enabled: bool = True
+    #: S-oscillation watchdog (DESIGN.md §11): in the INCREMENTAL state,
+    #: if the last ``watchdog_window`` S values flip direction at least
+    #: ``watchdog_flips`` times (collapse/pushdown flip-flop), force the
+    #: OBSERVATION state instead of thrashing the tree
+    watchdog_enabled: bool = True
+    watchdog_window: int = 6
+    watchdog_flips: int = 3
 
     def gap_gate(self, compute_time: float) -> float:
         """Effective gap threshold for the current time scale."""
@@ -49,3 +56,7 @@ class BalancerConfig:
             raise ValueError("degradation_tolerance must be in (0, 1)")
         if not 0 < self.incremental_step < 1:
             raise ValueError("incremental_step must be in (0, 1)")
+        if self.watchdog_window < 3:
+            raise ValueError("watchdog_window must be >= 3 steps")
+        if self.watchdog_flips < 1:
+            raise ValueError("watchdog_flips must be >= 1")

@@ -32,6 +32,7 @@ via ``mode``:
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.balance.config import BalancerConfig
@@ -91,8 +92,37 @@ class DynamicLoadBalancer:
         self._inc_entry_dominant: str | None = None
         self.best_time: float | None = None
         self._expect_new_best = False
+        #: (state, S) pairs of recent steps for the oscillation watchdog
+        self._s_history: deque[tuple[BalancerState, int]] = deque(
+            maxlen=self.config.watchdog_window
+        )
 
     # ------------------------------------------------------------------ api
+    def reset_to_search(self, reason: str = "reset") -> None:
+        """Discard balance state and restart the §VII-B binary search.
+
+        The quarantine path (DESIGN.md §11) calls this after a numeric
+        health check trips: observed timings that produced the current S
+        are no longer trusted, so the controller re-searches from the full
+        ``[s_min, s_max]`` range.  Observed §IV-D coefficients are kept
+        (they describe the machine, not the failure); a frozen static-mode
+        controller stays frozen by design.
+        """
+        self.state = BalancerState.SEARCH
+        self._lo = float(self.config.s_min)
+        self._hi = float(self.config.s_max)
+        self._search_steps = 0
+        self._inc_entry_dominant = None
+        self.best_time = None
+        self._expect_new_best = False
+        self._s_history.clear()
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter(
+                "balancer_resets_total",
+                "forced balancer resets to the SEARCH state",
+                labels={"reason": reason},
+            ).inc()
+            self.telemetry.tracer.instant("balancer-reset", reason=reason)
     def end_of_step(self, tree: AdaptiveOctree, timing: StepTiming) -> LBOutcome:
         """Digest one step's timing; possibly adjust S or operate on the tree."""
         self.coeffs.update_from_registry(timing.cpu_registry, timing.gpu_p2p_coefficient)
@@ -113,10 +143,50 @@ class DynamicLoadBalancer:
             self._incremental_step(tree, timing, out)
         else:
             self._observation_step(tree, timing, out)
+        self._s_history.append((prev_state, self.S))
+        self._watchdog(out)
         out.state = self.state
         if self.telemetry.enabled:
             self._record_outcome(prev_state, out)
         return out
+
+    def _watchdog(self, out: LBOutcome) -> None:
+        """Detect S flip-flop in the INCREMENTAL state; force OBSERVATION.
+
+        A healthy incremental phase moves S monotonically until dominance
+        flips; repeated direction reversals mean the controller is
+        thrashing the tree with collapse/pushdown cycles (e.g. the optimum
+        sits between two quantized S steps).  When the last full window of
+        INCREMENTAL steps reverses direction ``watchdog_flips`` or more
+        times, settle into OBSERVATION with the current S.
+        """
+        cfg = self.config
+        if (
+            not cfg.watchdog_enabled
+            or self.state is not BalancerState.INCREMENTAL
+            or len(self._s_history) < cfg.watchdog_window
+        ):
+            return
+        if any(st is not BalancerState.INCREMENTAL for st, _ in self._s_history):
+            return
+        values = [s for _, s in self._s_history]
+        deltas = [b - a for a, b in zip(values, values[1:]) if b != a]
+        flips = sum(
+            1 for a, b in zip(deltas, deltas[1:]) if (a > 0) != (b > 0)
+        )
+        if flips < cfg.watchdog_flips:
+            return
+        self.state = BalancerState.OBSERVATION
+        self._inc_entry_dominant = None
+        self._expect_new_best = True  # next step's time becomes the new best
+        self._s_history.clear()
+        out.actions.append(f"watchdog->observation flips={flips}")
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter(
+                "balancer_oscillation_total",
+                "S-oscillation watchdog trips (forced OBSERVATION)",
+            ).inc()
+            self.telemetry.tracer.instant("balancer-watchdog", flips=flips)
 
     def _record_outcome(self, prev_state: BalancerState, out: LBOutcome) -> None:
         """Mirror one step's balancer activity into the telemetry bundle."""

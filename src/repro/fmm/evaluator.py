@@ -82,6 +82,21 @@ class FMMSolver:
         self.engine = engine
         #: :class:`repro.runtime.engine.EngineResult` of the last engine solve
         self.last_engine_result = None
+        #: graph failures absorbed by the serial fallback (DESIGN.md §11)
+        self.degraded_runs = 0
+
+    def _record_degraded(self, exc: BaseException, solver: str) -> None:
+        """Count one engine failure recovered by serial re-execution."""
+        self.degraded_runs += 1
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter(
+                "runtime_degraded_total",
+                "engine graph failures recovered by exact serial re-execution",
+                labels={"solver": solver},
+            ).inc()
+            self.telemetry.tracer.instant(
+                "runtime-degraded", solver=solver, error=repr(exc)
+            )
 
     # ----------------------------------------------------------------- solve
     def solve(
@@ -115,7 +130,7 @@ class FMMSolver:
         if q.shape[0] != tree.n_bodies:
             raise ValueError("strengths must have one entry per body")
 
-        if self.engine is not None and self.engine.config.parallel:
+        if self.engine is not None:
             far_pot, far_grad, near_pot, near_grad = self._solve_engine(
                 tree, lists, q, gradient, potential
             )
@@ -170,11 +185,17 @@ class FMMSolver:
         Bitwise identical to the serial path: the graph's merge chains
         replay every reduction in the serial loop order, and far/near
         accumulate into separate arrays combined exactly as above.
+
+        An unrecoverable graph failure (a non-retryable task raised, or
+        retries/deadline were exhausted) degrades gracefully: the partial
+        pass objects are discarded and the whole pass re-runs on the exact
+        serial path, with ``runtime_degraded_total`` incremented.
+        Deliberate cancellation propagates.
         """
         # imported here: repro.fmm / repro.runtime package inits would cycle
         from repro.fmm.farfield import FarFieldPass
         from repro.fmm.nearfield import NearFieldPass
-        from repro.runtime.engine import TaskGraphBuilder
+        from repro.runtime.engine import GraphExecutionError, TaskGraphBuilder
         from repro.runtime.graphs import add_far_field_tasks, add_near_field_tasks
 
         far = FarFieldPass(
@@ -194,7 +215,18 @@ class FMMSolver:
         far_done = add_far_field_tasks(g, far, n_chunks=n_chunks)
         near_deps = () if self.engine.config.overlap else (far_done,)
         add_near_field_tasks(g, near, n_chunks=n_chunks, deps=near_deps)
-        self.last_engine_result = self.engine.run(g)
+        try:
+            self.last_engine_result = self.engine.run(g)
+        except GraphExecutionError as exc:
+            self.last_engine_result = None
+            self._record_degraded(exc, "laplace")
+            far_pot, far_grad = self._far_field(
+                tree, lists, q, want_gradient, want_potential
+            )
+            near_pot, near_grad = self._near_field(
+                tree, lists, q, want_gradient, want_potential
+            )
+            return far_pot, far_grad, near_pot, near_grad
         far_pot, far_grad = far.result()
         near_pot, near_grad = near.result()
         return far_pot, far_grad, near_pot, near_grad

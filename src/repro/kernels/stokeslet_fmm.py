@@ -77,6 +77,21 @@ class StokesletFMMSolver:
         self.engine = engine
         #: :class:`repro.runtime.engine.EngineResult` of the last engine solve
         self.last_engine_result = None
+        #: graph failures absorbed by the serial fallback (DESIGN.md §11)
+        self.degraded_runs = 0
+
+    def _record_degraded(self, exc: BaseException) -> None:
+        """Count one engine failure recovered by serial re-execution."""
+        self.degraded_runs += 1
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter(
+                "runtime_degraded_total",
+                "engine graph failures recovered by exact serial re-execution",
+                labels={"solver": "stokeslet"},
+            ).inc()
+            self.telemetry.tracer.instant(
+                "runtime-degraded", solver="stokeslet", error=repr(exc)
+            )
 
     def solve(
         self,
@@ -93,41 +108,51 @@ class StokesletFMMSolver:
         pts = tree.points
         scale = 1.0 / (8.0 * np.pi * self.kernel.viscosity)
 
-        u = np.zeros((tree.n_bodies, 3))
-        if self.engine is not None and self.engine.config.parallel:
-            phis, A, Bs, u_near = self._solve_engine(tree, lists, f, pts)
-            for i in range(3):
-                u[:, i] += phis[i]
-            u += pts * A[:, None]
-            for i in range(3):
-                u[:, i] -= Bs[i]
-            u *= scale
-            u += u_near
+        if self.engine is not None:
+            parts = self._solve_engine(tree, lists, f, pts)
+            if parts is None:  # graph failed; serial fallback already counted
+                u = self._solve_serial(tree, lists, f, pts, scale)
+            else:
+                phis, A, Bs, u_near = parts
+                u = np.zeros((tree.n_bodies, 3))
+                for i in range(3):
+                    u[:, i] += phis[i]
+                u += pts * A[:, None]
+                for i in range(3):
+                    u[:, i] -= Bs[i]
+                u *= scale
+                u += u_near
         else:
-            tracer = self.telemetry.tracer
-            # far field: phi_i (monopoles f_i), A (dipoles f), B_i (dipoles s_i f)
-            for i in range(3):
-                phi_i, _ = laplace_far_field(
-                    tree, lists, self.expansion, charges=f[:, i], tracer=tracer
-                )
-                u[:, i] += phi_i
-            A, _ = laplace_far_field(tree, lists, self.expansion, dipoles=f, tracer=tracer)
-            u += pts * A[:, None]
-            for i in range(3):
-                B_i, _ = laplace_far_field(
-                    tree, lists, self.expansion, dipoles=pts[:, i : i + 1] * f, tracer=tracer
-                )
-                u[:, i] -= B_i
-            u *= scale
-
-            # near field: exact regularized Stokeslets
-            u += self._near_field(tree, lists, f)
+            u = self._solve_serial(tree, lists, f, pts, scale)
 
         counts = lists.op_counts()
         # seven scalar passes: scale the expansion-op counts accordingly
         for op in ("P2M", "M2M", "M2L", "L2L", "L2P", "M2P", "P2L"):
             counts[op] = counts.get(op, 0) * 7
         return StokesletFMMResult(velocity=u, op_counts=counts, lists=lists)
+
+    def _solve_serial(self, tree, lists, f, pts, scale) -> np.ndarray:
+        """The exact monolithic seven-pass sweep (and the fallback path)."""
+        tracer = self.telemetry.tracer
+        u = np.zeros((tree.n_bodies, 3))
+        # far field: phi_i (monopoles f_i), A (dipoles f), B_i (dipoles s_i f)
+        for i in range(3):
+            phi_i, _ = laplace_far_field(
+                tree, lists, self.expansion, charges=f[:, i], tracer=tracer
+            )
+            u[:, i] += phi_i
+        A, _ = laplace_far_field(tree, lists, self.expansion, dipoles=f, tracer=tracer)
+        u += pts * A[:, None]
+        for i in range(3):
+            B_i, _ = laplace_far_field(
+                tree, lists, self.expansion, dipoles=pts[:, i : i + 1] * f, tracer=tracer
+            )
+            u[:, i] -= B_i
+        u *= scale
+
+        # near field: exact regularized Stokeslets
+        u += self._near_field(tree, lists, f)
+        return u
 
     def _near_field(self, tree, lists, f) -> np.ndarray:
         out, _ = evaluate_near_field(
@@ -144,11 +169,16 @@ class StokesletFMMSolver:
         pass's constructor warms the shared geometry/plan caches so the
         remaining six build against hits.  Combination into ``u`` happens
         after the run, in the serial pass order (bitwise identical).
+
+        Returns ``None`` when the graph failed unrecoverably — the caller
+        then re-runs the whole solve on the exact serial path
+        (``runtime_degraded_total`` is incremented here).  Deliberate
+        cancellation propagates.
         """
         # imported here: repro.kernels / repro.runtime package inits would cycle
         from repro.fmm.farfield import FarFieldPass
         from repro.fmm.nearfield import NearFieldPass
-        from repro.runtime.engine import TaskGraphBuilder
+        from repro.runtime.engine import GraphExecutionError, TaskGraphBuilder
         from repro.runtime.graphs import add_far_field_tasks, add_near_field_tasks
 
         mk = lambda **kw: FarFieldPass(tree, lists, self.expansion, **kw)
@@ -172,7 +202,12 @@ class StokesletFMMSolver:
         add_near_field_tasks(
             g, near, n_chunks=4 * self.engine.n_workers, deps=near_deps
         )
-        self.last_engine_result = self.engine.run(g)
+        try:
+            self.last_engine_result = self.engine.run(g)
+        except GraphExecutionError as exc:
+            self.last_engine_result = None
+            self._record_degraded(exc)
+            return None
         u_near, _ = near.result()
         return (
             [p.result()[0] for p in phi_passes],

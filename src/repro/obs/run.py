@@ -46,6 +46,9 @@ def run(
     forces: str = "direct",
     velocity_scale: float = 1.5,
     workers: int | None = 1,
+    checkpoint_every: int | None = None,
+    checkpoint: str = "checkpoint",
+    resume: str | None = None,
 ) -> tuple[Simulation, Telemetry]:
     """Run ``steps`` time steps of the §IX-A workload with telemetry on.
 
@@ -54,11 +57,20 @@ def run(
     runs the real task-graph engine and adds "real workers" lanes plus the
     ``runtime_model_residual`` metric to the artifacts; only meaningful
     with ``forces="fmm"``.
+
+    ``checkpoint_every`` (``--checkpoint-every K``) writes
+    ``{checkpoint}.npz`` + ``{checkpoint}.json`` every K steps;
+    ``resume`` (``--resume STEM``) restores from such a checkpoint and
+    advances ``steps`` *further* steps, bitwise identical to the
+    uninterrupted trajectory (DESIGN.md §11).  The resuming invocation
+    must use the same physics settings (n/dt/order/seed/...) — a config
+    fingerprint mismatch is rejected with an explanatory error.
     """
+    if workers is not None and workers < 1:
+        raise ValueError(
+            f"--workers must be >= 1 (1 = exact serial path), got {workers}"
+        )
     telemetry = Telemetry()
-    particles = compact_plummer(
-        n, seed=seed, total_mass=1.0, velocity_scale=velocity_scale
-    )
     kernel = GravityKernel(G=1.0, softening=1e-3)
     machine = system_a().with_resources(n_cores=n_cores, n_gpus=n_gpus)
     config = SimulationConfig(
@@ -69,12 +81,22 @@ def run(
         balancer=BalancerConfig(gap_threshold_frac=0.15, s_min=8, s_max=4096),
         seed=seed,
         n_workers=workers,
+        checkpoint_every=checkpoint_every,
+        checkpoint_path=checkpoint,
     )
-    sim = Simulation(particles, kernel, machine, config=config, telemetry=telemetry)
-    try:
+    if resume is not None:
+        sim = Simulation.from_checkpoint(
+            resume, kernel, machine, config=config, telemetry=telemetry
+        )
+    else:
+        particles = compact_plummer(
+            n, seed=seed, total_mass=1.0, velocity_scale=velocity_scale
+        )
+        sim = Simulation(
+            particles, kernel, machine, config=config, telemetry=telemetry
+        )
+    with sim:
         sim.run(steps)
-    finally:
-        sim.close()
     return sim, telemetry
 
 

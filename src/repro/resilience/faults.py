@@ -1,0 +1,104 @@
+"""Deterministic chaos harness: seeded fault injection into engine tasks.
+
+A :class:`FaultPlan` is armed on an :class:`~repro.runtime.engine.
+ExecutionEngine` via ``engine.install_fault_plan(plan)``; the engine then
+calls ``plan.hook(label, attempt)`` immediately *before* each task body.
+Because the hook fires before any task work, an injected raise never
+leaves partial state behind, so a retried attempt recomputes exactly what
+the fault-free execution would have — the foundation of the
+bitwise-identical chaos property tests.
+
+Three fault kinds:
+
+* ``"raise"`` — throw :class:`InjectedFault`; the engine's retry policy
+  (for retryable tasks) or graceful serial degradation (for merges)
+  absorbs it;
+* ``"delay"`` — sleep ``delay_s`` to perturb thread interleavings, which
+  must not perturb results;
+* ``"nan"`` — run a caller-supplied ``action`` callable (e.g. poison one
+  leaf's multipole coefficients) to exercise the numeric guardrails.
+
+Everything is deterministic given the plan: specs match task labels by
+substring, fire on attempts ``< fire_attempts``, and stop after
+``max_fires`` total firings.  ``plan.fired`` records every firing for
+test assertions; the plan is thread-safe (hooks run on worker threads).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["FaultPlan", "FaultSpec", "InjectedFault"]
+
+
+class InjectedFault(RuntimeError):
+    """Raised by a ``"raise"`` fault spec; always deliberate."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injection rule.
+
+    ``match`` is a substring tested against the task label.  The spec
+    fires while the task's attempt index is ``< fire_attempts`` (so the
+    default 1 means "fail the first attempt, let the retry succeed") and
+    while the spec's total firing count is ``< max_fires``.
+    """
+
+    kind: str  # "raise" | "delay" | "nan"
+    match: str
+    fire_attempts: int = 1
+    max_fires: int | None = None
+    delay_s: float = 0.001
+    action: Callable[[], None] | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("raise", "delay", "nan"):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.kind == "nan" and self.action is None:
+            raise ValueError("'nan' faults need an action callable")
+        if self.fire_attempts < 1:
+            raise ValueError("fire_attempts must be >= 1")
+
+
+@dataclass
+class FaultPlan:
+    """An ordered collection of :class:`FaultSpec` rules.
+
+    First matching spec wins per hook call.  ``fired`` accumulates
+    ``(kind, label, attempt)`` tuples.
+    """
+
+    faults: list[FaultSpec] = field(default_factory=list)
+    fired: list[tuple[str, str, int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: dict[int, int] = {}
+
+    def fired_kinds(self) -> set[str]:
+        return {kind for kind, _, _ in self.fired}
+
+    def hook(self, label: str, attempt: int) -> None:
+        """Engine callback; raises/delays/acts per the matching spec."""
+        for i, spec in enumerate(self.faults):
+            if spec.match not in label or attempt >= spec.fire_attempts:
+                continue
+            with self._lock:
+                count = self._counts.get(i, 0)
+                if spec.max_fires is not None and count >= spec.max_fires:
+                    continue
+                self._counts[i] = count + 1
+                self.fired.append((spec.kind, label, attempt))
+            if spec.kind == "raise":
+                raise InjectedFault(
+                    f"injected fault in task {label!r} (attempt {attempt})"
+                )
+            if spec.kind == "delay":
+                time.sleep(spec.delay_s)
+            else:  # "nan"
+                spec.action()
+            return

@@ -3,10 +3,10 @@
 :mod:`repro.runtime.scheduler` *simulates* K workers executing a task DAG;
 this module *actually runs* one.  The batched numeric stages of the FMM
 pipeline (see :mod:`repro.runtime.graphs`) are NumPy matmuls and kernel
-evaluations that release the GIL, so a plain ``ThreadPoolExecutor`` driven
-by a ready-queue over an explicit :class:`TaskNode` DAG yields genuine
-wall-clock speedup — the data-driven runtime-system shape of Ltaief &
-Yokota and Agullo et al., scaled down to one shared-memory node.
+evaluations that release the GIL, so a small pool of daemon worker threads
+driven by a ready-queue over an explicit :class:`TaskNode` DAG yields
+genuine wall-clock speedup — the data-driven runtime-system shape of
+Ltaief & Yokota and Agullo et al., scaled down to one shared-memory node.
 
 Design rules that make parallel runs **bitwise identical** to serial ones:
 
@@ -17,6 +17,24 @@ Design rules that make parallel runs **bitwise identical** to serial ones:
 * the engine therefore needs no execution-order guarantees in parallel
   mode, and ``n_workers=1`` executes tasks inline (no threads) in
   deterministic ready-queue insertion order.
+
+The engine is a *supervised* substrate (DESIGN.md §11):
+
+* every task's exception is captured, never leaked into a worker thread;
+* tasks marked ``retryable`` (idempotent: assignment writes or private
+  deltas) are retried up to :class:`RetryPolicy` ``max_attempts`` with a
+  deterministic linear backoff; non-idempotent tasks (ordered ``+=``
+  merges) fail the graph immediately;
+* a per-graph deadline (:attr:`EngineConfig.deadline_s`) and cooperative
+  :meth:`ExecutionEngine.cancel` abort a run by draining the ready queue —
+  in-flight tasks finish, nothing new is submitted, and the pool stays
+  reusable for the next graph;
+* graph failures raise :class:`GraphTaskError` /
+  :class:`GraphDeadlineError` (both :class:`GraphExecutionError`), which
+  the solvers catch to degrade to the exact serial re-execution path;
+* ``fault_hook`` is a test-only injection point (see
+  :class:`repro.resilience.FaultPlan`) called *before* each task body, so
+  an injected raise never leaves partial state and a retry is exact.
 
 Every executed task records a real ``(label, worker, start, end)``
 interval (``time.perf_counter`` seconds relative to the run start), which
@@ -30,10 +48,10 @@ coefficients come from measured wall-clock rather than the machine model.
 from __future__ import annotations
 
 import os
+import queue
 import threading
 import time
 from collections import deque
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -43,6 +61,12 @@ __all__ = [
     "EngineConfig",
     "EngineResult",
     "ExecutionEngine",
+    "GraphCancelled",
+    "GraphDeadlineError",
+    "GraphExecutionError",
+    "GraphTaskError",
+    "RetryPolicy",
+    "TaskFailure",
     "TaskGraphBuilder",
     "TaskInterval",
     "TaskNode",
@@ -55,19 +79,116 @@ def default_workers() -> int:
     return max(1, os.cpu_count() or 1)
 
 
+# --------------------------------------------------------------------- errors
+
+
+class GraphExecutionError(RuntimeError):
+    """A task graph could not be completed (task failure or deadline).
+
+    Solvers catch this to fall back to the exact serial path; it is the
+    *recoverable* family — :class:`GraphCancelled` is deliberate and is
+    not a subclass.
+    """
+
+
+class GraphTaskError(GraphExecutionError):
+    """A task failed and could not be retried (or retries were exhausted).
+
+    ``label`` names the failing task, ``attempts`` counts how many times
+    it ran, ``failures`` is the run's full :class:`TaskFailure` record
+    (including earlier, successfully retried faults).  The original
+    exception is chained as ``__cause__``.
+    """
+
+    def __init__(
+        self, label: str, attempts: int, failures: list["TaskFailure"]
+    ) -> None:
+        super().__init__(
+            f"task {label!r} failed after {attempts} attempt(s)"
+        )
+        self.label = label
+        self.attempts = attempts
+        self.failures = failures
+
+
+class GraphDeadlineError(GraphExecutionError):
+    """The per-graph deadline elapsed before all tasks completed."""
+
+    def __init__(self, deadline_s: float, n_done: int, n_tasks: int) -> None:
+        super().__init__(
+            f"graph deadline of {deadline_s:.3f}s exceeded "
+            f"({n_done}/{n_tasks} tasks completed)"
+        )
+        self.deadline_s = deadline_s
+        self.n_done = n_done
+        self.n_tasks = n_tasks
+
+
+class GraphCancelled(RuntimeError):
+    """:meth:`ExecutionEngine.cancel` aborted the run.
+
+    Deliberate, so *not* a :class:`GraphExecutionError` — solvers let it
+    propagate instead of degrading to the serial path.
+    """
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded, deterministic retries for idempotent tasks.
+
+    ``max_attempts`` is the total number of tries per task (1 = never
+    retry).  Before retry attempt *k* (1-based) the worker sleeps
+    ``backoff_s * k`` — deterministic linear backoff, no jitter, so
+    chaos-test timings are reproducible.
+    """
+
+    max_attempts: int = 3
+    backoff_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_s < 0.0:
+            raise ValueError(f"backoff_s must be >= 0, got {self.backoff_s}")
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """One captured task fault (retried or fatal)."""
+
+    label: str
+    attempt: int  # 0-based attempt index that failed
+    error: str  # repr of the captured exception
+    retried: bool  # True if the engine rescheduled the task
+
+
 @dataclass(frozen=True)
 class EngineConfig:
     """How the pipeline should be executed.
 
-    ``n_workers=1`` selects the exact serial fallback (solvers run their
-    original monolithic sweeps); ``None`` means ``os.cpu_count()``.
+    ``n_workers=1`` selects the exact serial path (tasks run inline in
+    deterministic order); ``None`` means ``os.cpu_count()``.
     ``overlap=False`` inserts a barrier between the far-field subgraphs
     and the near-field tasks instead of letting them interleave.
+    ``retry`` bounds re-execution of idempotent tasks; ``deadline_s``
+    aborts any single graph that runs longer (None = no deadline).
     """
 
     n_workers: int | None = None
 
     overlap: bool = True
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    deadline_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.deadline_s is not None and self.deadline_s <= 0.0:
+            raise ValueError(
+                f"deadline_s must be positive, got {self.deadline_s}"
+            )
 
     def resolved_workers(self) -> int:
         n = self.n_workers if self.n_workers is not None else default_workers()
@@ -86,6 +207,9 @@ class TaskNode:
 
     ``op``/``applications`` tag the task for §IV-D coefficient attribution
     (op names follow :meth:`InteractionLists.op_counts` conventions).
+    ``retryable`` marks the task idempotent (safe to re-run after a
+    failure): true for assignment/private-delta stages, false for the
+    ordered in-place merges.
     """
 
     id: int
@@ -94,6 +218,7 @@ class TaskNode:
     deps: tuple[int, ...] = ()
     op: str | None = None
     applications: int = 0
+    retryable: bool = True
 
 
 @dataclass(frozen=True)
@@ -126,6 +251,7 @@ class TaskGraphBuilder:
         deps: tuple[int, ...] | list[int] = (),
         op: str | None = None,
         applications: int = 0,
+        retryable: bool = True,
     ) -> int:
         """Append a task; returns its id for use in later ``deps``."""
         tid = len(self.nodes)
@@ -140,6 +266,7 @@ class TaskGraphBuilder:
                 deps=tuple(deps),
                 op=op,
                 applications=applications,
+                retryable=retryable,
             )
         )
         return tid
@@ -160,6 +287,8 @@ class EngineResult:
     n_workers: int
     n_tasks: int
     intervals: list[TaskInterval] = field(default_factory=list)
+    retries: int = 0
+    failures: list[TaskFailure] = field(default_factory=list)
 
     @property
     def busy_time(self) -> float:
@@ -191,13 +320,56 @@ class EngineResult:
         return reg
 
 
+class _WorkerPool:
+    """Minimal daemon-thread pool: a queue of thunks plus N loop threads.
+
+    Replaces ``ThreadPoolExecutor`` because its threads are non-daemonic
+    and joined at interpreter exit — a wedged task would hang pytest.
+    Daemon threads plus a sentinel shutdown mean the interpreter can
+    always exit.  Submitted thunks must not raise (the engine's
+    ``execute`` wrapper captures everything); a raising thunk is dropped.
+    """
+
+    def __init__(self, n_workers: int, name: str = "repro-engine") -> None:
+        self._queue: queue.SimpleQueue = queue.SimpleQueue()
+        self._threads = [
+            threading.Thread(
+                target=self._loop, daemon=True, name=f"{name}-{i}"
+            )
+            for i in range(n_workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    def submit(self, fn: Callable[[], None]) -> None:
+        self._queue.put(fn)
+
+    def _loop(self) -> None:
+        while True:
+            fn = self._queue.get()
+            if fn is None:
+                return
+            try:
+                fn()
+            except BaseException:
+                pass  # execute() captures; never kill a worker thread
+
+    def shutdown(self) -> None:
+        for _ in self._threads:
+            self._queue.put(None)
+        for t in self._threads:
+            t.join(timeout=1.0)
+        self._threads = []
+
+
 class ExecutionEngine:
-    """Runs :class:`TaskGraphBuilder` graphs on a persistent thread pool.
+    """Runs :class:`TaskGraphBuilder` graphs on a persistent worker pool.
 
     The pool is created lazily on the first parallel run and reused across
     runs (a time-stepping loop executes thousands of graphs; thread spawn
     cost must not recur per solve).  ``close()`` — or use as a context
-    manager — shuts the pool down.
+    manager — shuts the pool down; it is idempotent and the engine stays
+    usable afterwards (the next run lazily recreates the pool).
     """
 
     def __init__(self, config: EngineConfig | None = None, **kwargs) -> None:
@@ -207,14 +379,21 @@ class ExecutionEngine:
             raise TypeError("pass either a config or keyword overrides, not both")
         self.config = config
         self.n_workers = config.resolved_workers()
-        self._pool: ThreadPoolExecutor | None = None
+        self._pool: _WorkerPool | None = None
         self._lock = threading.Lock()
+        self._cancel = threading.Event()
+        self._active_cond: threading.Condition | None = None
+        #: test-only fault injection point: ``hook(label, attempt)`` is
+        #: called before each task body (see resilience.FaultPlan.hook)
+        self.fault_hook: Callable[[str, int], None] | None = None
 
     # ------------------------------------------------------------ lifecycle
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Shut the pool down.  Idempotent and exception-safe."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown()
 
     def __enter__(self) -> "ExecutionEngine":
         return self
@@ -222,17 +401,35 @@ class ExecutionEngine:
     def __exit__(self, *exc) -> None:
         self.close()
 
-    def _ensure_pool(self) -> ThreadPoolExecutor:
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.n_workers, thread_name_prefix="repro-engine"
-            )
-        return self._pool
+    def _ensure_pool(self) -> _WorkerPool:
+        with self._lock:
+            if self._pool is None:
+                self._pool = _WorkerPool(self.n_workers)
+            return self._pool
+
+    def install_fault_plan(self, plan) -> None:
+        """Arm (or with ``None`` disarm) a fault-injection plan."""
+        self.fault_hook = None if plan is None else plan.hook
+
+    def cancel(self) -> None:
+        """Cooperatively abort the in-flight run (if any).
+
+        The scheduler stops submitting ready tasks, waits for in-flight
+        tasks to finish, and raises :class:`GraphCancelled`.  The pool
+        remains reusable.  A cancel with no active run is a no-op (the
+        flag is cleared when the next run starts).
+        """
+        self._cancel.set()
+        cond = self._active_cond
+        if cond is not None:
+            with cond:
+                cond.notify_all()
 
     # ------------------------------------------------------------------ run
     def run(self, graph: TaskGraphBuilder) -> EngineResult:
         """Execute every task respecting dependencies; returns timings."""
         nodes = graph.nodes
+        self._cancel.clear()
         if not nodes:
             return EngineResult(0.0, self.n_workers, 0)
         if self.n_workers == 1:
@@ -241,20 +438,57 @@ class ExecutionEngine:
 
     # ---- serial: deterministic ready-queue insertion order, no threads
     def _run_serial(self, nodes: list[TaskNode]) -> EngineResult:
+        retry = self.config.retry
+        deadline = self.config.deadline_s
         indeg, dependents = _edges(nodes)
         ready = deque(t.id for t in nodes if indeg[t.id] == 0)
         intervals: list[TaskInterval] = []
+        failures: list[TaskFailure] = []
+        retries = 0
         epoch = time.perf_counter()
         done = 0
         while ready:
+            if self._cancel.is_set():
+                raise GraphCancelled("engine run cancelled")
+            if deadline is not None and time.perf_counter() - epoch > deadline:
+                raise GraphDeadlineError(deadline, done, len(nodes))
             tid = ready.popleft()
             node = nodes[tid]
-            start = time.perf_counter() - epoch
-            node.fn()
-            end = time.perf_counter() - epoch
-            intervals.append(
-                TaskInterval(node.label, 0, start, end, node.op, node.applications)
-            )
+            attempt = 0
+            while True:
+                hook = self.fault_hook
+                start = time.perf_counter() - epoch
+                try:
+                    if hook is not None:
+                        hook(node.label, attempt)
+                    node.fn()
+                except BaseException as e:
+                    end = time.perf_counter() - epoch
+                    intervals.append(
+                        TaskInterval(node.label, 0, start, end, None, 0)
+                    )
+                    can_retry = (
+                        node.retryable and attempt + 1 < retry.max_attempts
+                    )
+                    failures.append(
+                        TaskFailure(node.label, attempt, repr(e), can_retry)
+                    )
+                    if not can_retry:
+                        raise GraphTaskError(
+                            node.label, attempt + 1, failures
+                        ) from e
+                    attempt += 1
+                    retries += 1
+                    if retry.backoff_s > 0.0:
+                        time.sleep(retry.backoff_s * attempt)
+                    continue
+                end = time.perf_counter() - epoch
+                intervals.append(
+                    TaskInterval(
+                        node.label, 0, start, end, node.op, node.applications
+                    )
+                )
+                break
             done += 1
             for nxt in dependents.get(tid, ()):
                 indeg[nxt] -= 1
@@ -267,70 +501,130 @@ class ExecutionEngine:
             n_workers=1,
             n_tasks=done,
             intervals=intervals,
+            retries=retries,
+            failures=failures,
         )
 
     # ---- parallel: scheduler thread feeding a persistent pool
     def _run_parallel(self, nodes: list[TaskNode]) -> EngineResult:
         pool = self._ensure_pool()
+        retry = self.config.retry
+        deadline = self.config.deadline_s
         indeg, dependents = _edges(nodes)
         cond = threading.Condition()
-        completed: deque[int] = deque()
-        failures: list[BaseException] = []
+        completed: deque[tuple[int, BaseException | None]] = deque()
+        failures: list[TaskFailure] = []
         intervals: list[TaskInterval] = []
         lanes: dict[int, int] = {}  # thread ident -> dense worker index
+        retries = 0
         epoch = time.perf_counter()
+        self._active_cond = cond
 
-        def execute(node: TaskNode) -> None:
-            start = time.perf_counter() - epoch
+        def execute(node: TaskNode, attempt: int) -> None:
+            if attempt > 0 and retry.backoff_s > 0.0:
+                time.sleep(retry.backoff_s * attempt)
+            hook = self.fault_hook
             err: BaseException | None = None
+            start = time.perf_counter() - epoch
             try:
+                if hook is not None:
+                    hook(node.label, attempt)
                 node.fn()
-            except BaseException as e:  # propagate after draining
+            except BaseException as e:  # supervised: capture, never leak
                 err = e
             end = time.perf_counter() - epoch
             with cond:
                 worker = lanes.setdefault(threading.get_ident(), len(lanes))
                 intervals.append(
                     TaskInterval(
-                        node.label, worker, start, end, node.op, node.applications
+                        node.label,
+                        worker,
+                        start,
+                        end,
+                        None if err is not None else node.op,
+                        0 if err is not None else node.applications,
                     )
                 )
-                if err is not None:
-                    failures.append(err)
-                completed.append(node.id)
+                completed.append((node.id, err))
                 cond.notify()
 
+        attempts = [0] * len(nodes)
         pending = len(nodes)
         in_flight = 0
         ready = deque(t.id for t in nodes if indeg[t.id] == 0)
-        with cond:
-            while pending > 0:
-                while ready and not failures:
-                    pool.submit(execute, nodes[ready.popleft()])
-                    in_flight += 1
-                if in_flight == 0:
-                    if failures:
-                        break
-                    raise RuntimeError("task graph contains a dependency cycle")
-                while not completed:
-                    cond.wait()
-                while completed:
-                    tid = completed.popleft()
-                    in_flight -= 1
-                    pending -= 1
-                    for nxt in dependents.get(tid, ()):
-                        indeg[nxt] -= 1
-                        if indeg[nxt] == 0:
-                            ready.append(nxt)
-            # drain outstanding tasks before surfacing an error
-            while in_flight > 0:
-                while not completed:
-                    cond.wait()
-                while completed:
-                    completed.popleft()
-                    in_flight -= 1
-        if failures:
-            raise failures[0]
+        abort: BaseException | None = None
+        abort_cause: BaseException | None = None
+        try:
+            with cond:
+                while pending > 0 and abort is None:
+                    while ready and abort is None:
+                        tid = ready.popleft()
+                        pool.submit(
+                            lambda n=nodes[tid], a=attempts[tid]: execute(n, a)
+                        )
+                        in_flight += 1
+                    if in_flight == 0:
+                        raise RuntimeError(
+                            "task graph contains a dependency cycle"
+                        )
+                    while not completed and abort is None:
+                        timeout = None
+                        if deadline is not None:
+                            timeout = deadline - (time.perf_counter() - epoch)
+                            if timeout <= 0.0:
+                                abort = GraphDeadlineError(
+                                    deadline, len(nodes) - pending, len(nodes)
+                                )
+                                break
+                        if self._cancel.is_set():
+                            abort = GraphCancelled("engine run cancelled")
+                            break
+                        cond.wait(timeout)
+                    while completed:
+                        tid, err = completed.popleft()
+                        in_flight -= 1
+                        if err is None:
+                            pending -= 1
+                            for nxt in dependents.get(tid, ()):
+                                indeg[nxt] -= 1
+                                if indeg[nxt] == 0:
+                                    ready.append(nxt)
+                            continue
+                        node = nodes[tid]
+                        can_retry = (
+                            abort is None
+                            and not self._cancel.is_set()
+                            and node.retryable
+                            and attempts[tid] + 1 < retry.max_attempts
+                        )
+                        failures.append(
+                            TaskFailure(
+                                node.label, attempts[tid], repr(err), can_retry
+                            )
+                        )
+                        if can_retry:
+                            attempts[tid] += 1
+                            retries += 1
+                            pool.submit(
+                                lambda n=node, a=attempts[tid]: execute(n, a)
+                            )
+                            in_flight += 1
+                        elif abort is None:
+                            abort = GraphTaskError(
+                                node.label, attempts[tid] + 1, failures
+                            )
+                            abort_cause = err
+                # cooperative drain: stop feeding, let in-flight finish
+                while in_flight > 0:
+                    while not completed:
+                        cond.wait()
+                    while completed:
+                        completed.popleft()
+                        in_flight -= 1
+        finally:
+            self._active_cond = None
+        if abort is not None:
+            raise abort from abort_cause
         makespan = time.perf_counter() - epoch
         intervals.sort(key=lambda iv: (iv.worker, iv.start))
         return EngineResult(
@@ -338,6 +632,8 @@ class ExecutionEngine:
             n_workers=self.n_workers,
             n_tasks=len(nodes),
             intervals=intervals,
+            retries=retries,
+            failures=failures,
         )
 
 

@@ -29,6 +29,14 @@ so their chunks run unordered with no merge step at all; with
 soak up worker idle time during the (more serial) sweep phases — the
 paper's ``max(T_CPU, T_GPU)`` overlap, realized on actual threads.
 
+Tasks also carry a ``retryable`` flag for the supervised engine:
+assignment stages (P2M, L2P) and private-delta stages (M2M/M2L deltas,
+P2L/M2P computes) are idempotent and safe to re-run after a captured
+failure, while the ordered in-place merges (``+=`` into shared arrays,
+pop-based delta folds, the near-field group scatter and self-correction)
+are not and fail the graph immediately — the solver then degrades to the
+exact serial path.
+
 Every task is tagged with its cost-model ``op`` and an ``applications``
 count in :meth:`InteractionLists.op_counts` units, so an
 :class:`~repro.runtime.engine.EngineResult` aggregates measured wall-clock
@@ -113,6 +121,7 @@ def add_far_field_tasks(
             label=f"{tag}M2M:merge",
             deps=tuple(deltas),
             op="M2M",
+            retryable=False,
         )
     upsweep_done = prev
 
@@ -134,6 +143,7 @@ def add_far_field_tasks(
             label=f"{tag}M2L:m{lo}-{hi}",
             deps=merge_deps,
             op="M2L",
+            retryable=False,
         )
     if merge_prev is not None:
         translate_done = merge_prev
@@ -149,6 +159,7 @@ def add_far_field_tasks(
             label=f"{tag}P2L:merge",
             deps=(translate_done, t_p2l),
             op="P2L",
+            retryable=False,
         )
 
     # ---- downsweep: classes of one level are scatter-disjoint (each
@@ -163,6 +174,7 @@ def add_far_field_tasks(
                 deps=prev_level,
                 op="L2L",
                 applications=int(geom.down_classes[ci][1].size),
+                retryable=False,
             )
             for ci in level
         )
@@ -183,7 +195,11 @@ def add_far_field_tasks(
             applications=p.n_m2p_rows,
         )
         done = g.add(
-            p.m2p_merge, label=f"{tag}M2P:merge", deps=(t_l2p, t_m2p), op="M2P"
+            p.m2p_merge,
+            label=f"{tag}M2P:merge",
+            deps=(t_l2p, t_m2p),
+            op="M2P",
+            retryable=False,
         )
     return done
 
@@ -209,6 +225,7 @@ def add_near_field_tasks(
             deps=deps,
             op="P2P",
             applications=int(sum(weights[lo:hi])),
+            retryable=False,
         )
         for lo, hi in chunk_ranges(weights, n_chunks)
     ]
@@ -217,6 +234,7 @@ def add_near_field_tasks(
         label=f"{tag}:self",
         deps=tuple(group_tasks) if group_tasks else deps,
         op="P2P",
+        retryable=False,
     )
 
 

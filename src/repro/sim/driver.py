@@ -31,6 +31,15 @@ from repro.kernels.direct import direct_evaluate
 from repro.machine.executor import HeterogeneousExecutor
 from repro.machine.spec import MachineSpec
 from repro.obs import NULL_TELEMETRY, REAL_PID, Telemetry
+from repro.resilience.checkpoint import (
+    CheckpointError,
+    config_fingerprint,
+    read_checkpoint,
+    restore_balancer,
+    tree_from_state,
+    write_checkpoint,
+)
+from repro.resilience.guardrails import GuardrailConfig, check_finite
 from repro.runtime.engine import EngineConfig, ExecutionEngine
 from repro.sim.integrators import LeapfrogIntegrator, reflect_into_box
 from repro.tree.cache import ListCache
@@ -62,14 +71,36 @@ class SimulationConfig:
     #: let near-field tasks overlap the far-field sweep (the paper's
     #: ``max(T_CPU, T_GPU)`` semantics on real threads)
     overlap: bool = True
+    #: opt-in NaN/Inf health checks + quarantine (DESIGN.md §11)
+    guardrail: GuardrailConfig = field(default_factory=GuardrailConfig)
+    #: write a checkpoint every K steps (None = disabled; must be > 0)
+    checkpoint_every: int | None = None
+    #: checkpoint stem; files land at ``{stem}.npz`` + ``{stem}.json``
+    checkpoint_path: str = "checkpoint"
 
     def __post_init__(self) -> None:
+        if self.dt <= 0:
+            raise ValueError(
+                f"dt must be a positive time step, got {self.dt}"
+            )
+        if self.order < 1:
+            raise ValueError(
+                f"order must be a positive expansion order, got {self.order}"
+            )
         if self.forces not in ("fmm", "direct"):
             raise ValueError(f"forces must be 'fmm' or 'direct', got {self.forces!r}")
         if self.strategy not in ("static", "enforce", "full"):
             raise ValueError(f"unknown strategy {self.strategy!r}")
         if self.n_workers is not None and self.n_workers < 1:
-            raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
+            raise ValueError(
+                f"n_workers must be >= 1 (use 1 for the exact serial path), "
+                f"got {self.n_workers}"
+            )
+        if self.checkpoint_every is not None and self.checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1 step (or None to disable), "
+                f"got {self.checkpoint_every}"
+            )
 
 
 @dataclass
@@ -157,22 +188,80 @@ class Simulation:
         self.log = EventLog()
         self.step_index = 0
         self._needs_rebuild = True
+        self._closed = False
+        #: numeric-quarantine trips (also exported as a metric when
+        #: telemetry is enabled)
+        self.quarantines = 0
 
     def close(self) -> None:
-        """Shut down the execution engine's thread pool (if any)."""
+        """Shut down the execution engine's thread pool (if any).
+
+        Idempotent and exception-safe: safe to call from ``finally``
+        blocks and ``__exit__`` after a mid-step failure.  The simulation
+        stays usable — the engine lazily recreates its pool if stepped
+        again.
+        """
+        self._closed = True
         if self.engine is not None:
-            self.engine.close()
+            try:
+                self.engine.close()
+            except Exception:
+                pass  # a failed shutdown must not mask the original error
+
+    def __enter__(self) -> "Simulation":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -------------------------------------------------------------- physics
     def _accelerations(self, tree: AdaptiveOctree, lists) -> np.ndarray:
         q = self.particles.strengths
         if self.solver is not None:
             res = self.solver.solve(tree, q, gradient=True, potential=False, lists=lists)
-            return res.gradient
+            acc = res.gradient
+            if self.config.guardrail.due(self.step_index) and not check_finite(acc):
+                acc = self._quarantine(acc, q)
+            return acc
         return direct_evaluate(
             self.kernel, self.particles.positions, self.particles.positions, q,
             gradient=True, exclude_self=True,
         )
+
+    def _quarantine(self, acc: np.ndarray, q: np.ndarray) -> np.ndarray:
+        """Numeric quarantine (DESIGN.md §11): repair non-finite rows.
+
+        The FMM produced NaN/Inf accelerations for some bodies (poisoned
+        coefficients, corrupted surgery state, ...).  Recovery ladder:
+
+        1. recompute the affected rows through the direct scalar oracle
+           (all sources, minus the self term) so *this* step finishes with
+           correct forces;
+        2. schedule a from-scratch tree rebuild for the next step (the
+           current shape is no longer trusted);
+        3. reset the balancer to Search — its observed best times came
+           from a poisoned pipeline.
+        """
+        bad = np.flatnonzero(~np.isfinite(acc).all(axis=1))
+        self.quarantines += 1
+        pts = self.particles.positions
+        repaired = direct_evaluate(
+            self.kernel, pts[bad], pts, q, gradient=True, exclude_self=False,
+        )
+        repaired -= self.kernel.self_interaction(pts[bad], q[bad], gradient=True)
+        acc = acc.copy()
+        acc[bad] = repaired
+        self._needs_rebuild = True
+        self.balancer.reset_to_search(reason="numeric_quarantine")
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter(
+                "numeric_quarantine_total",
+                "steps quarantined by the NaN/Inf acceleration guardrail",
+            ).inc()
+            self.telemetry.tracer.instant(
+                "numeric-quarantine", bodies=int(bad.size), step=self.step_index
+            )
+        return acc
 
     # -------------------------------------------------------------- stepping
     def _ensure_tree(self) -> float:
@@ -268,7 +357,78 @@ class Simulation:
             gpu_efficiency=timing.gpu_efficiency,
         )
         self.step_index += 1
+        every = cfg.checkpoint_every
+        if every is not None and self.step_index % every == 0:
+            self.save_checkpoint(cfg.checkpoint_path)
         return rec
+
+    # ---------------------------------------------------------- checkpointing
+    def save_checkpoint(self, path: str) -> str:
+        """Write ``{path}.npz`` + ``{path}.json`` capturing full world state.
+
+        Enough for a bitwise-identical resume: particle arrays, the
+        leapfrog's stored acceleration, the exact tree shape (surgery
+        history is path-dependent), balancer state + observed
+        coefficients, the executor's timing-noise RNG state, and a config
+        fingerprint (see :mod:`repro.resilience.checkpoint`).
+        """
+        return write_checkpoint(self, path)
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        path: str,
+        kernel: Kernel,
+        machine: MachineSpec,
+        *,
+        config: SimulationConfig | None = None,
+        telemetry: Telemetry | None = None,
+        strict: bool = True,
+    ) -> "Simulation":
+        """Resume a checkpointed run; the continuation is bitwise identical
+        to the uninterrupted trajectory.
+
+        ``kernel``/``machine``/``config`` are re-supplied by the caller
+        (code does not round-trip through a checkpoint); their fingerprint
+        must match the one recorded at save time, else
+        :class:`~repro.resilience.checkpoint.CheckpointError` is raised
+        (``strict=False`` downgrades the mismatch to a continue-anyway).
+        """
+        data = read_checkpoint(path)
+        man = data.manifest
+        particles = ParticleSet(
+            positions=data.arrays["positions"],
+            velocities=data.arrays["velocities"],
+            strengths=data.arrays["strengths"],
+        )
+        domain = Box(tuple(man["domain"]["center"]), float(man["domain"]["size"]))
+        sim = cls(
+            particles, kernel, machine,
+            config=config, domain=domain, telemetry=telemetry,
+        )
+        fingerprint = config_fingerprint(
+            sim.config, kernel, machine, particles.n, domain
+        )
+        if man["config_hash"] != fingerprint and strict:
+            raise CheckpointError(
+                f"checkpoint {path!r} was written under a different "
+                "configuration (config/kernel/machine/body-count mismatch); "
+                "resume with the original settings, or pass strict=False to "
+                "continue anyway (the trajectory will diverge)"
+            )
+        sim.step_index = int(man["step_index"])
+        sim._needs_rebuild = bool(man["needs_rebuild"])
+        if "integrator_acc" in data.arrays:
+            sim.integrator._acc = np.asarray(
+                data.arrays["integrator_acc"], dtype=float
+            )
+        restore_balancer(sim.balancer, man["balancer"])
+        sim.executor._rng.bit_generator.state = man["rng_state"]
+        if man.get("tree") is not None:
+            sim.tree = tree_from_state(
+                sim.particles.positions, data.arrays, man["tree"]
+            )
+        return sim
 
     # ------------------------------------------------------------ telemetry
     def _record_step_telemetry(self, predicted, timing) -> None:

@@ -269,11 +269,17 @@ class AdaptiveOctree:
 
     # --------------------------------------------------------------- surgery
     def collapse(self, nid: int) -> None:
-        """Hide the children of ``nid``; it becomes an effective leaf."""
+        """Hide the children of ``nid``; it becomes an effective leaf.
+
+        Exception-safe: the descendant set is computed *before* any flag
+        is touched, so a failure during traversal leaves the tree exactly
+        as it was; the flag loop itself cannot raise.
+        """
         node = self.nodes[nid]
         if node.is_leaf:
             raise ValueError(f"collapse: node {nid} is already a leaf")
-        for cid in self._descendants(nid):
+        descendants = self._descendants(nid)
+        for cid in descendants:
             self.nodes[cid].hidden = True
         node.is_leaf = True
         self._bump(structural=True)
@@ -283,17 +289,33 @@ class AdaptiveOctree:
 
         Hidden children are reclaimed (and become leaves themselves, their
         own subtrees staying hidden); otherwise children are allocated.
+
+        Exception-safe (transactional): child allocation is the only phase
+        that can fail mid-way (it appends to the node buffer and the
+        parent's child list); on any exception the new nodes are truncated
+        away, the child list is restored, the generation stamps are bumped
+        conservatively (dropping any caches built concurrently), and the
+        error re-raised — the tree is left exactly as before the call.
+        The flag flips that follow cannot raise.
         """
         node = self.nodes[nid]
         if not node.is_leaf:
             raise ValueError(f"pushdown: node {nid} is not a leaf")
         if node.level >= self.max_level:
             raise ValueError(f"pushdown: node {nid} is at max level {self.max_level}")
-        if node.children is None:
-            node.children = self._make_children(nid)
-        else:
-            # reclaimed children may miss octants populated since collapse
-            self._materialize_missing_children(nid)
+        n_nodes_before = len(self.nodes)
+        children_before = None if node.children is None else list(node.children)
+        try:
+            if node.children is None:
+                node.children = self._make_children(nid)
+            else:
+                # reclaimed children may miss octants populated since collapse
+                self._materialize_missing_children(nid)
+        except BaseException:
+            del self.nodes[n_nodes_before:]
+            node.children = children_before
+            self._bump(structural=True)
+            raise
         kids = []
         for cid in node.children:
             child = self.nodes[cid]

@@ -229,6 +229,68 @@ class TestDrift:
         assert len(d.as_dict()["runtime"]) == 3
 
 
+# ----------------------------------------------------------------- edge cases
+class TestTelemetryEdgeCases:
+    """Degenerate registries and degraded steps must stay well-defined."""
+
+    def test_runtime_residual_on_empty_tracker(self):
+        summary = DriftTracker().summary()
+        assert summary["n_predicted_steps"] == 0
+        assert summary["n_runtime_steps"] == 0
+        assert summary["runtime_model_residual"] == 0.0
+        assert summary["mean_abs_residual"] == 0.0
+        # json round-trip of the empty as_dict form
+        json.dumps(DriftTracker().as_dict())
+
+    def test_empty_registry_snapshot(self):
+        reg = MetricsRegistry()
+        assert reg.snapshot() == {}
+        assert len(reg) == 0
+        assert "# " not in reg.to_prometheus() or reg.to_prometheus() == ""
+
+    def test_histogram_snapshot_zero_observations(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("t", buckets=(0.1, 1.0))
+        snap = h.snapshot()
+        assert snap["count"] == 0 and snap["sum"] == 0.0
+        assert all(c == 0 for c in snap["buckets"].values())
+        # exposition must still emit every bucket plus +Inf
+        lines = h.expose()
+        assert sum('le="' in line for line in lines) == 3
+
+    def test_counters_survive_degraded_step(self):
+        """A step whose engine graph fails (absorbed by the serial
+        fallback) still records its step metrics, and the degradation
+        itself is counted."""
+        from repro.resilience import FaultPlan, FaultSpec
+
+        telemetry = Telemetry()
+        ps = compact_plummer(400, seed=2, total_mass=1.0, velocity_scale=1.5)
+        sim = Simulation(
+            ps,
+            GravityKernel(G=1.0, softening=1e-3),
+            system_a().with_resources(n_cores=4, n_gpus=2),
+            config=SimulationConfig(dt=1e-4, forces="fmm", n_workers=2, order=2),
+            telemetry=telemetry,
+        )
+        # a non-retryable near-field fold failure on every attempt is
+        # unrecoverable (the self-correction task exists at any tree depth)
+        plan = FaultPlan([FaultSpec("raise", match="near:self", fire_attempts=99)])
+        with sim:
+            sim.engine.install_fault_plan(plan)
+            try:
+                sim.step()
+            finally:
+                sim.engine.install_fault_plan(None)
+            sim.step()  # a healthy step afterwards
+        snap = telemetry.metrics.snapshot()
+        assert snap["sim_steps_total"] == 2
+        assert snap['runtime_degraded_total{solver="laplace"}'] >= 1
+        assert sim.solver.degraded_runs >= 1
+        # the healthy step fed the runtime-model drift again
+        assert telemetry.drift.summary()["n_runtime_steps"] >= 1
+
+
 # ------------------------------------------------------------ instrumentation
 def _run_instrumented(steps=20, n=800, forces="direct", **cfg_kwargs):
     telemetry = Telemetry()

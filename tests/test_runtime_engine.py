@@ -29,6 +29,8 @@ from repro.kernels.stokeslet_fmm import StokesletFMMSolver
 from repro.runtime.engine import (
     EngineConfig,
     ExecutionEngine,
+    GraphTaskError,
+    RetryPolicy,
     TaskGraphBuilder,
     default_workers,
 )
@@ -133,13 +135,19 @@ class TestEngineExecution:
                 assert prev.end <= nxt.start + 1e-9
 
     def test_exception_propagates(self, n_workers):
+        """A persistently failing task surfaces as GraphTaskError after the
+        retry budget, with the original exception chained as ``__cause__``."""
         g = TaskGraphBuilder()
         g.add(lambda: None, label="ok")
         boom = g.add(lambda: 1 / 0, label="boom")
         g.add(lambda: None, label="after", deps=(boom,))
         with ExecutionEngine(n_workers=n_workers) as eng:
-            with pytest.raises(ZeroDivisionError):
+            with pytest.raises(GraphTaskError) as exc_info:
                 eng.run(g)
+        err = exc_info.value
+        assert err.label == "boom"
+        assert err.attempts == RetryPolicy().max_attempts
+        assert isinstance(err.__cause__, ZeroDivisionError)
 
     def test_empty_graph(self, n_workers):
         with ExecutionEngine(n_workers=n_workers) as eng:
