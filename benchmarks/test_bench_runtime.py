@@ -49,10 +49,20 @@ def _best_time(fn, rounds):
     return best
 
 
+def _available_cpus():
+    """CPUs this process may actually use — affinity-aware, so a container
+    pinned to 2 cores of a 64-core host reports 2, not 64."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
 def test_bench_engine_step_speedup(benchmark):
     """4-worker engine >= 1.5x over serial on a 50k-body far+near solve."""
     n = 50_000
-    n_workers = max(4, min(8, os.cpu_count() or 1))
+    avail = _available_cpus()
+    gate_skipped = avail < 4
+    n_workers = max(4, min(8, avail))
     pts = plummer(n, seed=7).positions
     tree = AdaptiveOctree(pts, S=32)
     lists = build_interaction_lists(tree, folded=True)
@@ -85,6 +95,10 @@ def test_bench_engine_step_speedup(benchmark):
         "order": 4,
         "n_workers": n_workers,
         "cpu_count": os.cpu_count(),
+        "cpu_available": avail,
+        # a record with gate_skipped=True carries timings from an
+        # oversubscribed box: informational only, never a gate pass
+        "gate_skipped": gate_skipped,
         "serial_ms": round(serial_t * 1e3, 3),
         "engine_ms": round(par_t * 1e3, 3),
         "speedup": round(speedup, 2),
@@ -104,9 +118,9 @@ def test_bench_engine_step_speedup(benchmark):
         f"{n_workers} workers {par_t * 1e3:.1f} ms, speedup {speedup:.2f}x, "
         f"{eng_res.n_tasks} tasks, utilization {eng_res.utilization:.0%}"
     )
-    if (os.cpu_count() or 1) < 4:
+    if gate_skipped:
         pytest.skip(
-            f"speedup gate needs >= 4 CPUs (have {os.cpu_count()}); "
+            f"speedup gate needs >= 4 usable CPUs (have {avail}); "
             "bitwise equality verified above"
         )
     assert speedup >= 1.5, f"engine only {speedup:.2f}x over serial at {n_workers} workers"

@@ -289,7 +289,13 @@ class DynamicLoadBalancer:
         if self.mode == "enforce":
             self._expect_new_best = True
             return
-        lists = self.executor.list_cache.get(tree, folded=self.executor.folded)
+        cache = self.executor.list_cache
+        repairs0, rebuilds0 = cache.repairs, cache.builds
+        lists = cache.get(tree, folded=self.executor.folded)
+        if cache.repairs > repairs0:
+            out.actions.append("lists repaired")
+        elif cache.builds > rebuilds0:
+            out.actions.append("lists rebuilt")
         pred = predict_times(lists.op_counts(), self.coeffs)
         out.lb_time += self.executor.time_prediction(tree)
         if pred.compute_time <= self.best_time * (1.0 + cfg.degradation_tolerance):

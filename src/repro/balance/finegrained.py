@@ -49,6 +49,10 @@ class FineGrainedReport:
     #: modeled time spent inside the optimizer (prediction + surgery)
     lb_time: float = 0.0
     changed: bool = False
+    #: list lookups this call answered by incremental repair vs full rebuild
+    #: (cache-counter deltas; both zero when the executor has no cache)
+    list_repairs: int = 0
+    list_rebuilds: int = 0
 
     @property
     def operations(self) -> int:
@@ -66,6 +70,32 @@ def _restore(tree: AdaptiveOctree, snap: list[tuple[bool, bool]]) -> None:
     # the flags were flipped behind the surgery API: stamp the shape change
     # so generation-keyed list caches drop their now-stale entries
     tree.mark_structure_dirty()
+
+
+def _undo_round(
+    tree: AdaptiveOctree,
+    applied: list[tuple[str, int]],
+    snap: list[tuple[bool, bool]],
+) -> None:
+    """Reject a trial round by replaying exact inverse surgery ops.
+
+    Every trial collapse is depth-1 (candidates require all-leaf
+    children), so ``pushdown`` inverts it exactly, and ``collapse``
+    inverts a trial pushdown — the undo goes through the journalled
+    surgery API and the list cache can *repair* instead of rebuilding.
+    The flag snapshot stays as a verified fallback: any drift from it
+    falls back to the raw restore, which stamps the journal dirty.
+    """
+    for kind, nid in reversed(applied):
+        if kind == "collapse":
+            tree.pushdown(nid)
+        else:
+            tree.collapse(nid)
+    ok = [(n.is_leaf, n.hidden) for n in tree.nodes[: len(snap)]] == snap and all(
+        n.hidden for n in tree.nodes[len(snap):]
+    )
+    if not ok:  # pragma: no cover - inverse replay is exact by construction
+        _restore(tree, snap)
 
 
 def _collapse_candidates(tree: AdaptiveOctree, k: int) -> list[int]:
@@ -149,6 +179,7 @@ def fine_grained_optimize(
     cache = getattr(executor, "list_cache", None)
     if cache is not None:
         get_lists = lambda: cache.get(tree, folded=folded)  # noqa: E731
+        repairs0, rebuilds0 = cache.repairs, cache.builds
     else:
         get_lists = lambda: build_interaction_lists(tree, folded=folded)  # noqa: E731
     lists = get_lists()
@@ -162,11 +193,13 @@ def fine_grained_optimize(
 
     for _ in range(config.fgo_max_rounds):
         snap = _snapshot(tree)
+        applied: list[tuple[str, int]] = []
         cpu_bound = best.cpu_time >= best.gpu_time
         if cpu_bound:
             targets = _collapse_candidates(tree, batch)
             for nid in targets:
                 tree.collapse(nid)
+                applied.append(("collapse", nid))
             n_ops = len(targets)
         else:
             targets = _pushdown_candidates(tree, lists, batch)
@@ -174,6 +207,7 @@ def fine_grained_optimize(
             for nid in targets:
                 if tree.nodes[nid].is_leaf and tree.nodes[nid].level < tree.max_level:
                     tree.pushdown(nid)
+                    applied.append(("pushdown", nid))
                     n_ops += 1
         examined += len(targets)
         if n_ops == 0:
@@ -191,11 +225,14 @@ def fine_grained_optimize(
             else:
                 report.pushdowns += n_ops
         else:
-            _restore(tree, snap)
+            _undo_round(tree, applied, snap)
             lists = get_lists()
             break
 
     report.final = best
+    if cache is not None:
+        report.list_repairs = cache.repairs - repairs0
+        report.list_rebuilds = cache.builds - rebuilds0
     if metrics is not None:
         metrics.counter(
             "fgo_calls_total", "FineGrainedOptimize invocations"
@@ -211,11 +248,17 @@ def fine_grained_optimize(
         metrics.counter(
             "fgo_rounds_total", "tentative surgery rounds evaluated"
         ).inc(report.rounds)
+        metrics.counter(
+            "fgo_list_repairs_total",
+            "list lookups inside FineGrainedOptimize answered by repair",
+        ).inc(report.list_repairs)
         tracer.instant(
             "fine-grained-optimize",
             rounds=report.rounds,
             examined=examined,
             accepted=report.operations,
             changed=report.changed,
+            list_repairs=report.list_repairs,
+            list_rebuilds=report.list_rebuilds,
         )
     return report

@@ -117,12 +117,34 @@ def _class_segments(keys: np.ndarray) -> list[np.ndarray]:
     return [order[lo:hi] for lo, hi in zip(starts, ends)]
 
 
-def _cache_stats(lists: InteractionLists, attr: str) -> dict[str, int]:
+def _cache_stats(lists: InteractionLists, attr: str, *extra: str) -> dict[str, int]:
     stats = getattr(lists, attr, None)
     if stats is None:
         stats = {"builds": 0, "hits": 0}
         setattr(lists, attr, stats)
+    for k in extra:
+        stats.setdefault(k, 0)
     return stats
+
+
+def _operator_cache(lists: InteractionLists) -> dict:
+    """Per-lists translation-operator store keyed by *quantized* geometry.
+
+    Octree geometry classes are exact functions of discrete data — a
+    parent<->child shift of ``(level, octant)``, an M2L displacement of
+    ``(level, kx, ky, kz)`` — so the dense operators can be keyed by those
+    integers and survive tree surgery: a repair drops the structural
+    ``derived_cache`` layer (row indices shift when nodes appear or
+    vanish) but deliberately leaves this plain attribute alone.  The next
+    :func:`far_field_geometry` build then re-derives only the *rows* and
+    fetches every operator whose class already existed — a **partial**
+    rebuild whose cost excludes the dominant operator-assembly term.
+    """
+    cache = getattr(lists, "farfield_op_cache", None)
+    if cache is None:
+        cache = {}
+        lists.farfield_op_cache = cache
+    return cache
 
 
 def _level_groups(levels: list[int]) -> list[list[int]]:
@@ -178,11 +200,29 @@ def far_field_geometry(
     """
     key = f"farfield_geometry:{expansion.backend}:{expansion.order}"
     cached, store = lists.derived_cache(key, structural=True)
-    stats = _cache_stats(lists, "farfield_geometry_stats")
+    stats = _cache_stats(
+        lists, "farfield_geometry_stats", "partial_rebuilds", "op_hits", "op_builds"
+    )
     if cached is not None:
         stats["hits"] += 1
         return cached
     stats["builds"] += 1
+    if getattr(lists, "last_repair", None) is not None:
+        # the structural layer was dropped by an incremental list repair,
+        # not a fresh lists object: the operator cache below is warm, so
+        # this rebuild re-derives rows only
+        stats["partial_rebuilds"] += 1
+    op_cache = _operator_cache(lists)
+
+    def class_operator(kind: str, class_key, build):
+        k = (expansion.backend, expansion.order, kind, class_key)
+        op = op_cache.get(k)
+        if op is None:
+            op = op_cache[k] = build()
+            stats["op_builds"] += 1
+        else:
+            stats["op_hits"] += 1
+        return op
 
     nodes = tree.nodes
     eff = tree.effective_nodes()
@@ -218,14 +258,26 @@ def far_field_geometry(
         segs = []
         for sel in _class_segments(levels[child_rows] * 8 + octant):
             c = child_rows[sel]
-            segs.append((int(levels[c[0]]), c, parent_row[c]))
-        for lvl, c, p in sorted(segs, key=lambda s: -s[0]):
-            up_classes.append((c, p, expansion.m2m_class_operator(centers[p[0]] - centers[c[0]])))
-            up_class_levels.append(lvl)
-        for lvl, c, p in sorted(segs, key=lambda s: s[0]):
-            down_classes.append(
-                (p, c, expansion.l2l_class_operator(centers[c[0]] - centers[p[0]]))
+            segs.append((int(levels[c[0]]), int(octant[sel[0]]), c, parent_row[c]))
+        for lvl, okt, c, p in sorted(segs, key=lambda s: -s[0]):
+            op = class_operator(
+                "m2m",
+                (lvl, okt),
+                lambda c=c, p=p: expansion.m2m_class_operator(
+                    centers[p[0]] - centers[c[0]]
+                ),
             )
+            up_classes.append((c, p, op))
+            up_class_levels.append(lvl)
+        for lvl, okt, c, p in sorted(segs, key=lambda s: s[0]):
+            op = class_operator(
+                "l2l",
+                (lvl, okt),
+                lambda c=c, p=p: expansion.l2l_class_operator(
+                    centers[c[0]] - centers[p[0]]
+                ),
+            )
+            down_classes.append((p, c, op))
             down_class_levels.append(lvl)
 
     # ---- M2L displacement classes: quantize center offsets in units of
@@ -244,7 +296,13 @@ def far_field_geometry(
         )
         for sel in _class_segments(keys):
             rep = sel[0]
-            op = expansion.m2l_class_operator(centers[trow[rep]] - centers[srow[rep]])
+            op = class_operator(
+                "m2l",
+                int(keys[rep]),
+                lambda rep=rep: expansion.m2l_class_operator(
+                    centers[trow[rep]] - centers[srow[rep]]
+                ),
+            )
             m2l_classes.append((srow[sel], trow[sel], op))
 
     w_tgt_ids, w_src_ids = _flatten_pair_dict(lists.w_list)

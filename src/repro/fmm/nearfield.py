@@ -105,7 +105,37 @@ def _plan_stats(lists: InteractionLists) -> dict[str, int]:
     if stats is None:
         stats = {"builds": 0, "refreshes": 0, "hits": 0}
         lists.nearfield_plan_stats = stats
+    stats.setdefault("patched", 0)
     return stats
+
+
+def _row_signatures(lists: InteractionLists) -> dict[int, tuple]:
+    """Per-target-leaf sorted source signatures, patched across repairs.
+
+    Grouping targets by identical source sets needs one ``sorted`` per
+    near row — the dominant Python cost of a plan build.  The signatures
+    are kept on the lists as a plain attribute (surviving
+    ``drop_structural_derived``); an incremental list repair records the
+    rows it touched in ``lists._near_rows_changed``, so after a repair
+    only those rows are re-sorted and every other signature is reused.
+    """
+    sigs = getattr(lists, "_near_row_sigs", None)
+    dirty = getattr(lists, "_near_rows_changed", None)
+    near = lists.near_sources
+    if sigs is None or dirty is None:
+        fresh = {t: tuple(sorted(srcs)) for t, srcs in near.items()}
+        patched = False
+    else:
+        fresh = {}
+        for t, srcs in near.items():
+            sig = sigs.get(t) if t not in dirty else None
+            fresh[t] = tuple(sorted(srcs)) if sig is None else sig
+        patched = True
+    lists._near_row_sigs = fresh
+    lists._near_rows_changed = set()
+    if patched:
+        _plan_stats(lists)["patched"] += 1
+    return fresh
 
 
 def _plan_from_skeleton(order: np.ndarray, skel: _PlanSkeleton) -> NearFieldPlan:
@@ -143,11 +173,13 @@ def build_near_field_plan(tree: AdaptiveOctree, lists: InteractionLists) -> Near
     node_lo = np.fromiter((n.lo for n in nodes), dtype=np.int64, count=len(nodes))
     node_hi = np.fromiter((n.hi for n in nodes), dtype=np.int64, count=len(nodes))
 
-    # group target leaves by their exact source-leaf set
+    # group target leaves by their exact source-leaf set (signatures are
+    # patched, not recomputed, across incremental list repairs)
+    row_sig = _row_signatures(lists)
     groups: dict[tuple, list[int]] = {}
     self_leaves: list[int] = []
     for t, sources in lists.near_sources.items():
-        groups.setdefault(tuple(sorted(sources)), []).append(t)
+        groups.setdefault(row_sig[t], []).append(t)
         if t in sources:
             self_leaves.append(t)
 

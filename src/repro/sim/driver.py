@@ -147,6 +147,7 @@ class Simulation:
         self.list_cache = ListCache()
         if self.telemetry.enabled:
             self.list_cache.bind_metrics(self.telemetry.metrics)
+            self.list_cache.bind_tracer(self.telemetry.tracer)
         self.executor = HeterogeneousExecutor(
             machine,
             order=self.config.order,

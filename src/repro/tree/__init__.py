@@ -6,23 +6,35 @@ spatial decomposition in which a node is subdivided when it holds more than
 Collapse / PushDown operations (§IV) and the Enforce_S sweep (§VI-A).
 """
 
-from repro.tree.octree import AdaptiveOctree, OctreeNode, build_adaptive
+from repro.tree.octree import (
+    AdaptiveOctree,
+    OctreeNode,
+    SurgeryRecord,
+    build_adaptive,
+)
 from repro.tree.uniform import build_uniform, uniform_depth_for
 from repro.tree.lists import (
     InteractionLists,
+    RepairIneligible,
+    RepairStats,
     build_interaction_lists,
     build_interaction_lists_scalar,
+    repair_interaction_lists,
 )
 from repro.tree.cache import ListCache
 
 __all__ = [
     "AdaptiveOctree",
     "OctreeNode",
+    "SurgeryRecord",
     "build_adaptive",
     "build_uniform",
     "uniform_depth_for",
     "InteractionLists",
     "ListCache",
+    "RepairIneligible",
+    "RepairStats",
     "build_interaction_lists",
     "build_interaction_lists_scalar",
+    "repair_interaction_lists",
 ]

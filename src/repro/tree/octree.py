@@ -19,6 +19,7 @@ Tree surgery (§IV):
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
@@ -26,7 +27,28 @@ import numpy as np
 from repro.geometry.box import Box, bounding_box
 from repro.geometry.morton import MAX_MORTON_LEVEL, morton_keys
 
-__all__ = ["OctreeNode", "AdaptiveOctree", "build_adaptive"]
+__all__ = ["OctreeNode", "AdaptiveOctree", "SurgeryRecord", "build_adaptive"]
+
+#: structural edits the journal can describe precisely enough for list repair
+_JOURNAL_DEPTH = 256
+
+
+@dataclass(frozen=True)
+class SurgeryRecord:
+    """One structural mutation, as seen by incremental list repair.
+
+    ``sgen`` is the tree's ``structure_generation`` *after* the op, so a
+    consumer holding lists stamped at generation ``g`` can ask for exactly
+    the records with ``sgen > g``.  ``kind`` is ``"collapse"``/``"pushdown"``
+    (repairable: the affected neighbourhood is bounded by ``node``'s cell)
+    or ``"dirty"`` (an out-of-band edit — flag flips behind the surgery
+    API, mid-op rollback, refit-time child materialization — whose blast
+    radius is unknown; consumers must rebuild from scratch).
+    """
+
+    sgen: int
+    kind: str
+    node: int
 
 
 @dataclass
@@ -91,6 +113,11 @@ class AdaptiveOctree:
         #: shape time steps.  Consumers must compare stored stamps, never
         #: absolute values.
         self.structure_generation = 0
+        #: bounded journal of structural mutations; every bump of
+        #: ``structure_generation`` appends exactly one :class:`SurgeryRecord`
+        #: (the invariant :meth:`journal_since` relies on to prove
+        #: completeness).  Consumed by incremental interaction-list repair.
+        self._journal: deque[SurgeryRecord] = deque(maxlen=_JOURNAL_DEPTH)
         self.root_box = root_box if root_box is not None else bounding_box(pts)
         if not bool(self.root_box.contains(pts).all()):
             raise ValueError("root_box does not contain all points")
@@ -100,10 +127,30 @@ class AdaptiveOctree:
         self._split_recursive(0)
 
     # ---------------------------------------------------------- invalidation
-    def _bump(self, *, structural: bool = False) -> None:
+    def _bump(self, *, structural: bool = False, record: tuple[str, int] | None = None) -> None:
         self.generation += 1
         if structural:
             self.structure_generation += 1
+            kind, node = record if record is not None else ("dirty", -1)
+            self._journal.append(SurgeryRecord(self.structure_generation, kind, node))
+
+    def journal_since(self, sgen: int) -> list[SurgeryRecord] | None:
+        """Surgery records after generation ``sgen``, or ``None`` if unknowable.
+
+        Returns exactly the records covering ``sgen -> structure_generation``
+        when the bounded journal still holds all of them; returns ``None``
+        when history was truncated (too many ops since ``sgen``), so callers
+        must treat the gap as an arbitrary reshape and rebuild.
+        """
+        delta = self.structure_generation - sgen
+        if delta < 0:
+            return None  # stamp from another tree / future: not ours to explain
+        if delta == 0:
+            return []
+        out = [rec for rec in self._journal if rec.sgen > sgen]
+        if len(out) != delta:
+            return None
+        return out
 
     def mark_structure_dirty(self) -> None:
         """Declare an out-of-band structural edit.
@@ -172,13 +219,18 @@ class AdaptiveOctree:
         self.nodes.append(child)
         return child.id
 
-    def _materialize_missing_children(self, nid: int) -> list[int]:
+    def _materialize_missing_children(
+        self, nid: int, record: tuple[str, int] | None = None
+    ) -> list[int]:
         """Create leaves for octants that gained bodies since allocation.
 
         Empty octants are pruned at build time; after bodies move, a
         previously-empty octant of an internal node may become populated
         and needs a (leaf) child so the leaves keep partitioning the
-        bodies.  Returns the newly created child ids.
+        bodies.  Returns the newly created child ids.  ``record`` labels
+        the journal entry when the caller is a surgery op whose affected
+        neighbourhood covers the new children (pushdown reclaim); without
+        it the edit journals as ``dirty`` (refit-time coverage repair).
         """
         node = self.nodes[nid]
         if node.children is None:
@@ -194,7 +246,7 @@ class AdaptiveOctree:
                 node.children.append(cid)
                 created.append(cid)
         if created:
-            self._bump(structural=True)
+            self._bump(structural=True, record=record)
         return created
 
     def _split_recursive(self, nid: int) -> None:
@@ -282,7 +334,7 @@ class AdaptiveOctree:
         for cid in descendants:
             self.nodes[cid].hidden = True
         node.is_leaf = True
-        self._bump(structural=True)
+        self._bump(structural=True, record=("collapse", nid))
 
     def pushdown(self, nid: int) -> list[int]:
         """Subdivide leaf ``nid``; returns the ids of its effective children.
@@ -309,8 +361,10 @@ class AdaptiveOctree:
             if node.children is None:
                 node.children = self._make_children(nid)
             else:
-                # reclaimed children may miss octants populated since collapse
-                self._materialize_missing_children(nid)
+                # reclaimed children may miss octants populated since collapse;
+                # the new leaves sit inside nid's cell, so the pushdown record
+                # itself bounds the repair neighbourhood
+                self._materialize_missing_children(nid, record=("pushdown", nid))
         except BaseException:
             del self.nodes[n_nodes_before:]
             node.children = children_before
@@ -323,7 +377,7 @@ class AdaptiveOctree:
             child.is_leaf = True  # any grandchildren stay hidden until reclaimed
             kids.append(cid)
         node.is_leaf = False
-        self._bump(structural=True)
+        self._bump(structural=True, record=("pushdown", nid))
         return kids
 
     def _descendants(self, nid: int) -> list[int]:

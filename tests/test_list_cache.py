@@ -33,6 +33,23 @@ def _splittable_leaf(tree):
     pytest.skip("tree has no splittable leaf")
 
 
+def _collapsible_parent(tree):
+    """Deep internal node whose visible children are all leaves — the
+    smallest possible collapse, guaranteed inside the repair budget."""
+    best = None
+    for nid in tree.effective_nodes():
+        node = tree.nodes[nid]
+        if nid == 0 or node.is_leaf:
+            continue
+        kids = tree.effective_children(nid)
+        if kids and all(tree.nodes[c].is_leaf for c in kids):
+            if best is None or node.level > tree.nodes[best].level:
+                best = nid
+    if best is None:
+        pytest.skip("tree has no collapsible parent")
+    return best
+
+
 def assert_lists_equal(a, b):
     """Node-for-node equality of every list family.
 
@@ -43,6 +60,20 @@ def assert_lists_equal(a, b):
     assert a.colleagues == b.colleagues
     assert a.v_list == b.v_list
     for name in ("u_list", "w_list", "x_list", "near_sources"):
+        da, db = getattr(a, name), getattr(b, name)
+        assert set(da) == set(db), name
+        for k in da:
+            assert sorted(da[k]) == sorted(db[k]), (name, k)
+
+
+def assert_lists_equivalent(a, b):
+    """Element-wise equality after canonical (sorted) row order.
+
+    The contract for *repaired* lists: an untouched row keeps its original
+    candidate order, which may differ from a fresh build's when an affected
+    parent's row was reordered — the row contents are identical.
+    """
+    for name in ("colleagues", "v_list", "u_list", "w_list", "x_list", "near_sources"):
         da, db = getattr(a, name), getattr(b, name)
         assert set(da) == set(db), name
         for k in da:
@@ -102,12 +133,16 @@ def test_refit_does_not_invalidate_lists():
 
 
 @pytest.mark.parametrize("op", ["collapse", "pushdown", "enforce_s", "mark"])
-def test_stale_lists_rejected_after_surgery(op):
+def test_stale_lists_refreshed_after_surgery(op):
+    """Surgery never serves stale lists: a single collapse/pushdown is
+    answered by an in-place *repair* (same object, ``repairs`` counter),
+    an out-of-band edit (``mark_structure_dirty``) forces a full rebuild,
+    and either path matches a from-scratch build node-for-node."""
     tree = _tree()
     cache = ListCache()
     l1 = cache.get(tree)
     if op == "collapse":
-        tree.collapse(_first_internal(tree))
+        tree.collapse(_collapsible_parent(tree))
     elif op == "pushdown":
         tree.pushdown(_splittable_leaf(tree))
     elif op == "enforce_s":
@@ -118,11 +153,50 @@ def test_stale_lists_rejected_after_surgery(op):
     else:
         tree.mark_structure_dirty()
     l2 = cache.get(tree)
+    if op in ("collapse", "pushdown"):
+        # a single journalled op repairs the cached lists in place
+        assert l2 is l1
+        assert (cache.repairs, cache.builds) == (1, 1)
+    elif op == "mark":
+        # no journal for the edit: the cache must fall back to a rebuild
+        assert l2 is not l1
+        assert (cache.repairs, cache.builds) == (0, 2)
+    else:
+        # enforce_s journals every op; repair or rebuild depends on volume
+        assert cache.repairs + cache.builds - 1 == 1
+    # either path matches a from-scratch build node-for-node (repaired rows
+    # may keep their pre-surgery candidate order: compare canonically)
+    assert_lists_equivalent(l2, build_interaction_lists(tree, folded=True))
+    assert_lists_equivalent(l2, build_interaction_lists_scalar(tree, folded=True))
+
+
+def test_repair_falls_back_when_surgery_is_global():
+    """Collapsing the root perturbs (removes) nearly every node: the
+    affected-set cap rejects repair and the cache rebuilds instead."""
+    tree = _tree()
+    cache = ListCache()
+    l1 = cache.get(tree)
+    tree.collapse(0)
+    l2 = cache.get(tree)
     assert l2 is not l1
-    assert cache.builds == 2
-    # the rebuilt lists match a from-scratch build node-for-node
+    assert (cache.repairs, cache.builds) == (0, 2)
     assert_lists_equal(l2, build_interaction_lists(tree, folded=True))
-    assert_lists_equal(l2, build_interaction_lists_scalar(tree, folded=True))
+
+
+@pytest.mark.parametrize("op", ["collapse", "pushdown"])
+def test_repair_disabled_restores_rebuild_contract(op):
+    """``ListCache(repair=False)`` is the full-rebuild baseline."""
+    tree = _tree()
+    cache = ListCache(repair=False)
+    l1 = cache.get(tree)
+    if op == "collapse":
+        tree.collapse(_first_internal(tree))
+    else:
+        tree.pushdown(_splittable_leaf(tree))
+    l2 = cache.get(tree)
+    assert l2 is not l1
+    assert (cache.repairs, cache.builds) == (0, 2)
+    assert_lists_equal(l2, build_interaction_lists(tree, folded=True))
 
 
 def test_cache_keyed_by_folded_flag():

@@ -83,3 +83,111 @@ def test_duplicated_points_worst_case(folded):
         build_interaction_lists(tree, folded=folded),
         build_interaction_lists_scalar(tree, folded=folded),
     )
+
+
+# --------------------------------------------------------------- repair
+def _assert_equivalent_sorted(rep, ref):
+    """Element-wise identical after canonical (sorted) row order.
+
+    Repair keeps the original candidate order of untouched rows, which a
+    from-scratch build on the post-surgery tree need not reproduce — the
+    contents must match exactly.
+    """
+    for name in ("colleagues", "v_list", "u_list", "w_list", "x_list", "near_sources"):
+        dv, dr = getattr(rep, name), getattr(ref, name)
+        assert set(dv) == set(dr), name
+        for k in dv:
+            assert sorted(dv[k]) == sorted(dr[k]), (name, k)
+
+
+def _random_surgery(tree, rng, n_ops):
+    """Apply up to ``n_ops`` random collapse/pushdown ops (root excluded)."""
+    applied = 0
+    for _ in range(n_ops):
+        if rng.random() < 0.5:
+            internal = [
+                n
+                for n in tree.effective_nodes()
+                if not tree.nodes[n].is_leaf and n != 0
+            ]
+            if internal:
+                tree.collapse(internal[int(rng.integers(len(internal)))])
+                applied += 1
+        else:
+            leaves = [
+                l
+                for l in tree.leaves()
+                if tree.nodes[l].count >= 2 and tree.nodes[l].level < tree.max_level
+            ]
+            if leaves:
+                tree.pushdown(leaves[int(rng.integers(len(leaves)))])
+                applied += 1
+    return applied
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    family=st.sampled_from(["plummer", "blobs"]),
+    n=st.integers(min_value=80, max_value=700),
+    S=st.integers(min_value=2, max_value=40),
+    seed=st.integers(min_value=0, max_value=2**16),
+    folded=st.booleans(),
+    n_ops=st.integers(min_value=1, max_value=6),
+)
+def test_repaired_lists_match_scratch_build(family, n, S, seed, folded, n_ops):
+    """Random interleaved collapse/pushdown sequences: repairing the
+    pre-surgery lists through the journal must equal a from-scratch build
+    on the post-surgery tree, element-wise after canonical sort."""
+    from repro.tree.lists import repair_interaction_lists
+
+    pts = _FAMILIES[family](n, seed=seed).positions
+    tree = AdaptiveOctree(pts, S=S)
+    lists = build_interaction_lists(tree, folded=folded)
+    sgen0 = tree.structure_generation
+    rng = np.random.default_rng(seed)
+    if _random_surgery(tree, rng, n_ops) == 0:
+        return
+    journal = tree.journal_since(sgen0)
+    assert journal is not None  # every op must have journalled one record
+    assert all(rec.kind in ("collapse", "pushdown") for rec in journal)
+    # with the size cap lifted, a clean journal is always repairable
+    repair_interaction_lists(tree, lists, journal, max_affected_frac=1e9)
+    _assert_equivalent_sorted(lists, build_interaction_lists(tree, folded=folded))
+    _assert_equivalent_sorted(
+        lists, build_interaction_lists_scalar(tree, folded=folded)
+    )
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    folded=st.booleans(),
+)
+def test_repair_composes_across_refit_rounds(seed, folded):
+    """Surgery and refit interleave (the balancer's real access pattern):
+    refit keeps the shape, so the journal stays repairable across rounds
+    and each repaired state matches a scratch build."""
+    from repro.tree.cache import ListCache
+
+    pts = plummer(500, seed=seed).positions
+    tree = AdaptiveOctree(pts, S=16)
+    cache = ListCache(max_affected_frac=1e9, max_repair_ops=64)
+    rng = np.random.default_rng(seed)
+    cache.get(tree, folded=folded)
+    for _ in range(3):
+        _random_surgery(tree, rng, 2)
+        lists = cache.get(tree, folded=folded)
+        _assert_equivalent_sorted(
+            lists, build_interaction_lists(tree, folded=folded)
+        )
+        moved = tree.points + rng.normal(scale=1e-4, size=tree.points.shape)
+        tree.points = np.clip(moved, tree.root_box.low, tree.root_box.high)
+        sg = tree.structure_generation
+        tree.refit()
+        if tree.structure_generation != sg:
+            return  # drift materialized pruned octants: journal went dirty
+        assert cache.get(tree, folded=folded) is lists  # frozen shape: hit

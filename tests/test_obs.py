@@ -346,7 +346,9 @@ class TestInstrumentedSimulation:
         snap = tel.metrics.snapshot()
         assert snap["sim_steps_total"] == 20
         assert any(k.startswith("balancer_transitions_total") for k in snap)
-        assert snap["listcache_builds_total"] >= 1
+        # builds renamed to lists_rebuilt_total when the repair path split
+        # rebuilds from repairs (DESIGN.md §12)
+        assert snap["lists_rebuilt_total"] >= 1
         assert snap["listcache_hits_total"] >= 1
         assert any(k.startswith("fmm_op_coefficient_seconds") for k in snap)
 

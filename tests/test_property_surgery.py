@@ -146,3 +146,94 @@ class TestEnforceAfterMovement:
         for l in tree.leaves():
             node = tree.nodes[l]
             assert node.count <= 16 or node.level >= tree.max_level
+
+
+class RepairMachine(RuleBasedStateMachine):
+    """Interleaved surgery + refit against a repair-enabled ListCache.
+
+    After every rule the cached (possibly repaired-in-place) lists must be
+    element-wise identical, after canonical sort, to a from-scratch build
+    on the current tree — the tentpole contract of the incremental-repair
+    path, exercised in both folded modes on Plummer and clustered blobs.
+    """
+
+    @initialize(
+        seed=st.integers(0, 2**16),
+        family=st.sampled_from(["plummer", "blobs"]),
+        folded=st.booleans(),
+    )
+    def setup(self, seed, family, folded):
+        from repro.distributions.generators import gaussian_blobs, plummer
+        from repro.tree.cache import ListCache
+
+        self.rng = np.random.default_rng(seed)
+        n = int(self.rng.integers(100, 400))
+        gen = plummer if family == "plummer" else gaussian_blobs
+        pts = gen(n, seed=seed).positions
+        self.tree = AdaptiveOctree(pts, S=int(self.rng.integers(4, 32)))
+        self.folded = folded
+        self.cache = ListCache(max_repair_ops=64, max_affected_frac=1e9)
+        self.cache.get(self.tree, folded=folded)
+
+    @rule()
+    def collapse_random(self):
+        internal = [
+            n
+            for n in self.tree.effective_nodes()
+            if not self.tree.nodes[n].is_leaf and n != 0
+        ]
+        if internal:
+            self.tree.collapse(internal[int(self.rng.integers(0, len(internal)))])
+
+    @rule()
+    def pushdown_random(self):
+        leaves = [
+            l
+            for l in self.tree.leaves()
+            if self.tree.nodes[l].count >= 2
+            and self.tree.nodes[l].level < self.tree.max_level
+        ]
+        if leaves:
+            self.tree.pushdown(leaves[int(self.rng.integers(0, len(leaves)))])
+
+    @rule()
+    def move_and_refit(self):
+        pts = self.tree.points + self.rng.normal(0, 1e-3, self.tree.points.shape)
+        lo, hi = self.tree.root_box.low, self.tree.root_box.high
+        self.tree.points = np.clip(pts, lo, hi)
+        self.tree.refit()
+
+    @invariant()
+    def cached_lists_match_scratch(self):
+        if not hasattr(self, "tree"):
+            return
+        lists = self.cache.get(self.tree, folded=self.folded)
+        ref = build_interaction_lists(self.tree, folded=self.folded)
+        for name in (
+            "colleagues",
+            "v_list",
+            "u_list",
+            "w_list",
+            "x_list",
+            "near_sources",
+        ):
+            dv, dr = getattr(lists, name), getattr(ref, name)
+            assert set(dv) == set(dr), name
+            for k in dv:
+                assert sorted(dv[k]) == sorted(dr[k]), (name, k)
+
+    def teardown(self):
+        # no lookup may ever have served a stale or inconsistent entry, and
+        # at least the initial build must have happened through the cache
+        if hasattr(self, "cache"):
+            assert self.cache.builds >= 1
+
+
+RepairMachine.TestCase.settings = settings(
+    max_examples=12,
+    stateful_step_count=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+TestRepairSequences = RepairMachine.TestCase
