@@ -1,0 +1,58 @@
+"""Shared bench-to-ledger glue: fold gate results into the run ledger.
+
+Each benchmark gate keeps writing its human-browsable ``BENCH_*.json``
+snapshot, and *additionally* appends a ``kind="bench"``
+:class:`~repro.obs.ledger.RunRecord` to the flight-recorder ledger
+(``RUNS.jsonl`` at the repo root, or ``$REPRO_LEDGER``).  That ledger is
+the cross-PR perf trajectory the regression tracker reads.
+
+After appending, the tolerance-banded comparator runs against the
+bench's own history and prints its verdict.  The verdict is advisory by
+default — benchmark machines vary wildly, and a laptop run must not be
+failed against a CI baseline — and becomes a hard assertion when
+``REPRO_REGRESS_ENFORCE`` is set (the CI ``regression-check`` step runs
+the committed trajectory through ``python -m repro regress`` instead,
+which is always strict).
+"""
+
+import os
+
+from repro.obs.ledger import RunLedger, RunRecord
+from repro.obs.regress import check_regression
+
+#: record keys that are identity/config, not measurements
+_EXTRA_KEYS = frozenset(
+    {
+        "bench",
+        "backend",
+        "bitwise_identical",
+        "gate_skipped",
+        "cpu_count",
+        "cpu_available",
+    }
+)
+
+
+def record_to_ledger(record: dict, *, ledger_path: str | None = None):
+    """Append one bench record to the ledger; print the regression verdict.
+
+    ``record`` is the same dict the bench writes to its ``BENCH_*.json``
+    history.  Numeric fields become ledger ``metrics``; identity fields
+    (and the ``gate_skipped`` marker the comparator keys on) ride in
+    ``extra``.  Returns the :class:`~repro.obs.regress.RegressionVerdict`.
+    """
+    metrics = {
+        k: v
+        for k, v in record.items()
+        if k not in _EXTRA_KEYS and isinstance(v, (int, float)) and not isinstance(v, bool)
+    }
+    extra = {k: v for k, v in record.items() if k in _EXTRA_KEYS and k != "bench"}
+    ledger = RunLedger(ledger_path)
+    ledger.append(
+        RunRecord(bench=record["bench"], kind="bench", metrics=metrics, extra=extra)
+    )
+    verdict = check_regression(ledger, record["bench"])
+    print(f"ledger: appended to {ledger.path}; {verdict}")
+    if os.environ.get("REPRO_REGRESS_ENFORCE"):
+        assert verdict.ok, str(verdict)
+    return verdict

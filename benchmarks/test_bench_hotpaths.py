@@ -22,6 +22,7 @@ from pathlib import Path
 
 import numpy as np
 
+import _ledger
 from repro.balance.config import BalancerConfig
 from repro.distributions.generators import compact_plummer, plummer
 from repro.expansions.cartesian import CartesianExpansion
@@ -167,6 +168,7 @@ def test_bench_far_field_speedup(benchmark):
         history = json.loads(_BENCH_FARFIELD.read_text())
     history.append(record)
     _BENCH_FARFIELD.write_text(json.dumps(history, indent=2) + "\n")
+    _ledger.record_to_ledger(record)
 
     print()
     print(

@@ -22,6 +22,7 @@ import json
 import time
 from pathlib import Path
 
+import _ledger
 from repro.distributions.generators import plummer
 from repro.fmm.evaluator import CartesianExpansion
 from repro.fmm.farfield import far_field_geometry
@@ -132,6 +133,7 @@ def test_bench_repair_vs_rebuild(benchmark):
         history = json.loads(_BENCH_REPAIR.read_text())
     history.append(record)
     _BENCH_REPAIR.write_text(json.dumps(history, indent=2) + "\n")
+    _ledger.record_to_ledger(record)
 
     print()
     print(

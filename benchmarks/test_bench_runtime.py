@@ -25,6 +25,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+import _ledger
 from repro.distributions.generators import plummer
 from repro.fmm.evaluator import FMMSolver
 from repro.kernels import LaplaceKernel
@@ -111,6 +112,7 @@ def test_bench_engine_step_speedup(benchmark):
         history = json.loads(_BENCH_RUNTIME.read_text())
     history.append(record)
     _BENCH_RUNTIME.write_text(json.dumps(history, indent=2) + "\n")
+    _ledger.record_to_ledger(record)
 
     print()
     print(

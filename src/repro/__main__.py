@@ -11,6 +11,8 @@ Usage::
     python -m repro trace --forces fmm --workers 4
     python -m repro trace --forces fmm --checkpoint-every 10 --checkpoint ckpt
     python -m repro trace --forces fmm --resume ckpt --steps 10
+    python -m repro report --n 50000 --workers 4
+    python -m repro regress [--ledger RUNS.jsonl] [--window 5] [--rel-tol 0.15]
 
 Options are forwarded as keyword arguments to the experiment's ``run``;
 integers and floats are parsed automatically.  ``--checkpoint-every K``
@@ -54,6 +56,14 @@ COMMANDS = {
     "trace": (
         "Telemetry — short instrumented run; writes Chrome trace + metrics",
         obs_run.main,
+    ),
+    "report": (
+        "Profiler — critical path, per-stage slack, worker idle attribution",
+        obs_run.report_main,
+    ),
+    "regress": (
+        "Perf gate — check the run ledger for hot-path regressions",
+        obs_run.regress_main,
     ),
 }
 

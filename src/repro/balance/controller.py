@@ -58,6 +58,9 @@ class LBOutcome:
     #: tree was modified in place (enforce / fine-grained surgery)
     tree_modified: bool = False
     actions: list[str] = field(default_factory=list)
+    #: FineGrainedOptimize decision record (``FineGrainedReport.as_dict``)
+    #: when the step invoked the optimizer
+    fgo: dict | None = None
 
 
 class DynamicLoadBalancer:
@@ -96,6 +99,11 @@ class DynamicLoadBalancer:
         self._s_history: deque[tuple[BalancerState, int]] = deque(
             maxlen=self.config.watchdog_window
         )
+        #: bounded flight-recorder of per-step decisions — structured
+        #: ``{step, from, to, S, best, compute, cpu, gpu, actions}`` dicts
+        #: consumed by the run ledger (see :mod:`repro.obs.ledger`)
+        self.decisions: deque[dict] = deque(maxlen=512)
+        self._decision_step = 0
 
     # ------------------------------------------------------------------ api
     def reset_to_search(self, reason: str = "reset") -> None:
@@ -134,6 +142,7 @@ class DynamicLoadBalancer:
             self._expect_new_best = False
         if self._frozen:
             out.actions.append("frozen")
+            self._record_decision(prev_state, timing, out)
             if self.telemetry.enabled:
                 self._record_outcome(prev_state, out)
             return out
@@ -146,9 +155,55 @@ class DynamicLoadBalancer:
         self._s_history.append((prev_state, self.S))
         self._watchdog(out)
         out.state = self.state
+        self._record_decision(prev_state, timing, out)
         if self.telemetry.enabled:
             self._record_outcome(prev_state, out)
         return out
+
+    def _record_decision(self, prev_state: BalancerState, timing, out: LBOutcome) -> None:
+        """Append one structured decision record to the flight recorder."""
+        self.decisions.append(
+            {
+                "step": self._decision_step,
+                "from": prev_state.value,
+                "to": self.state.value,
+                "S": self.S,
+                "rebuild_S": out.rebuild_S,
+                "tree_modified": out.tree_modified,
+                "lb_time": out.lb_time,
+                "compute": timing.compute_time,
+                "cpu": timing.cpu_time,
+                "gpu": timing.gpu_time,
+                "best": self.best_time,
+                "actions": list(out.actions),
+                **({"fgo": out.fgo} if out.fgo is not None else {}),
+            }
+        )
+        self._decision_step += 1
+
+    def decision_summary(self) -> dict:
+        """Aggregate view of the recorded decisions for the run ledger."""
+        transitions: dict[str, int] = {}
+        actions: dict[str, int] = {}
+        s_values: list[int] = []
+        for dec in self.decisions:
+            if dec["from"] != dec["to"]:
+                key = f"{dec['from']}->{dec['to']}"
+                transitions[key] = transitions.get(key, 0) + 1
+            for action in dec["actions"]:
+                name = action.split(" ", 1)[0].split("=", 1)[0]
+                actions[name] = actions.get(name, 0) + 1
+            s_values.append(dec["S"])
+        return {
+            "steps_recorded": len(self.decisions),
+            "final_state": self.state.value,
+            "final_S": self.S,
+            "best_time": self.best_time,
+            "transitions": transitions,
+            "actions": actions,
+            "s_min_seen": min(s_values) if s_values else None,
+            "s_max_seen": max(s_values) if s_values else None,
+        }
 
     def _watchdog(self, out: LBOutcome) -> None:
         """Detect S flip-flop in the INCREMENTAL state; force OBSERVATION.
@@ -263,6 +318,7 @@ class DynamicLoadBalancer:
             )
             out.lb_time += report.lb_time
             out.tree_modified = report.changed
+            out.fgo = report.as_dict()
             out.actions.append(
                 f"fgo rounds={report.rounds} ops={report.operations}"
             )
@@ -310,6 +366,7 @@ class DynamicLoadBalancer:
         )
         out.lb_time += report.lb_time
         out.tree_modified = out.tree_modified or report.changed
+        out.fgo = report.as_dict()
         out.actions.append(f"fgo rounds={report.rounds} ops={report.operations}")
         if (
             report.final is not None

@@ -58,6 +58,21 @@ class FineGrainedReport:
     def operations(self) -> int:
         return self.collapses + self.pushdowns
 
+    def as_dict(self) -> dict:
+        """Compact decision record for the run-ledger flight recorder."""
+        return {
+            "rounds": self.rounds,
+            "collapses": self.collapses,
+            "pushdowns": self.pushdowns,
+            "predictions": self.predictions,
+            "changed": self.changed,
+            "lb_time": self.lb_time,
+            "list_repairs": self.list_repairs,
+            "list_rebuilds": self.list_rebuilds,
+            "initial_compute": self.initial.compute_time if self.initial else None,
+            "final_compute": self.final.compute_time if self.final else None,
+        }
+
 
 def _snapshot(tree: AdaptiveOctree) -> list[tuple[bool, bool]]:
     return [(n.is_leaf, n.hidden) for n in tree.nodes]

@@ -10,7 +10,15 @@ instrumentation that makes the loop *watchable*:
 * :mod:`repro.obs.metrics` — counters/gauges/histograms with
   Prometheus-style text exposition and JSON snapshots;
 * :mod:`repro.obs.drift` — per-step predicted-vs-observed compute time,
-  coefficient trajectories, and CPU/GPU imbalance.
+  coefficient trajectories, and CPU/GPU imbalance;
+* :mod:`repro.obs.ledger` — the durable flight recorder: append-only
+  JSONL :class:`~repro.obs.ledger.RunRecord` trajectory across runs,
+  benchmarks, and PRs;
+* :mod:`repro.obs.critpath` — DAG critical path, per-stage slack, and
+  worker idle attribution over measured engine intervals ("why was this
+  step slow?", surfaced as ``python -m repro report``);
+* :mod:`repro.obs.regress` — tolerance-banded perf-regression checks
+  over the ledger trajectory (the CI ``regression-check`` gate).
 
 :class:`Telemetry` bundles the three so a single optional parameter
 threads through the driver, executor, balancer, and caches.  The shared
@@ -23,12 +31,16 @@ reference step loop).
 
 from __future__ import annotations
 
+from repro.obs.critpath import CritPathReport
 from repro.obs.drift import DriftSample, DriftTracker, RuntimeSample
+from repro.obs.ledger import RunLedger, RunRecord
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.regress import RegressionVerdict, check_regression
 from repro.obs.trace import REAL_PID, SIM_PID, WALL_PID, Span, Tracer
 
 __all__ = [
     "Counter",
+    "CritPathReport",
     "DriftSample",
     "DriftTracker",
     "Gauge",
@@ -36,12 +48,16 @@ __all__ = [
     "MetricsRegistry",
     "NULL_TELEMETRY",
     "REAL_PID",
+    "RegressionVerdict",
+    "RunLedger",
+    "RunRecord",
     "RuntimeSample",
     "SIM_PID",
     "Span",
     "Telemetry",
     "Tracer",
     "WALL_PID",
+    "check_regression",
 ]
 
 

@@ -26,6 +26,7 @@ headline numbers into metrics gauges/histograms.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.costmodel.coefficients import ObservedCoefficients
@@ -58,15 +59,20 @@ class DriftSample:
         """Signed relative error of the compute-time prediction.
 
         ``(observed - predicted) / observed``: +0.10 means the model
-        under-predicted by 10% of the realized time.
+        under-predicted by 10% of the realized time.  Degenerate inputs
+        are guarded: a zero observed time (nothing to normalize by) and
+        NaN/Inf on either side both yield 0.0 rather than poisoning the
+        summary means.
         """
-        if self.observed_compute == 0.0:
+        obs, pred = self.observed_compute, self.predicted_compute
+        if obs == 0.0 or not math.isfinite(obs) or not math.isfinite(pred):
             return 0.0
-        return (self.observed_compute - self.predicted_compute) / self.observed_compute
+        return (obs - pred) / obs
 
     @property
     def imbalance(self) -> float:
-        return abs(self.observed_cpu - self.observed_gpu)
+        gap = abs(self.observed_cpu - self.observed_gpu)
+        return gap if math.isfinite(gap) else 0.0
 
 
 @dataclass(frozen=True)
@@ -79,8 +85,15 @@ class RuntimeSample:
 
     @property
     def residual(self) -> float:
-        """Signed relative error, ``(measured - simulated) / measured``."""
-        if self.measured == 0.0:
+        """Signed relative error, ``(measured - simulated) / measured``.
+
+        Zero or non-finite inputs yield 0.0 (same guard rationale as
+        :attr:`DriftSample.residual`)."""
+        if (
+            self.measured == 0.0
+            or not math.isfinite(self.measured)
+            or not math.isfinite(self.simulated)
+        ):
             return 0.0
         return (self.measured - self.simulated) / self.measured
 

@@ -100,9 +100,13 @@ class Histogram:
         self.name = name
         self.help = help
         self.labels = dict(labels or {})
-        self.buckets = tuple(sorted(float(b) for b in buckets))
+        # +Inf is always emitted implicitly (it equals _count): drop an
+        # explicit inf bound so the exposition never repeats the series
+        self.buckets = tuple(
+            sorted(float(b) for b in buckets if float(b) != float("inf"))
+        )
         if not self.buckets:
-            raise ValueError("histogram needs at least one bucket bound")
+            raise ValueError("histogram needs at least one finite bucket bound")
         self.bucket_counts = [0] * len(self.buckets)
         self.sum = 0.0
         self.count = 0
@@ -117,10 +121,12 @@ class Histogram:
     def expose(self) -> list[str]:
         lines = []
         # observe() increments every bucket whose bound covers the value,
-        # so the stored counts are already cumulative as Prometheus expects
+        # so the stored counts are already cumulative as Prometheus
+        # expects; bounds are sorted ascending with the mandatory +Inf
+        # bucket (== _count) closing the series, per the OpenMetrics spec
         for bound, c in zip(self.buckets, self.bucket_counts):
             labels = dict(self.labels)
-            labels["le"] = _fmt_value(bound)
+            labels["le"] = _fmt_le(bound)
             lines.append(f"{self.name}_bucket{_fmt_labels(labels)} {c}")
         labels = dict(self.labels)
         labels["le"] = "+Inf"
@@ -230,3 +236,18 @@ def _fmt_value(value: float) -> str:
     if value == int(value) and abs(value) < 1e15:
         return str(int(value))
     return repr(value)
+
+
+def _fmt_le(bound: float) -> str:
+    """Canonical OpenMetrics form of a bucket bound.
+
+    ``le`` values are float-typed in the spec: integral bounds must
+    render with a trailing ``.0`` (``le="1.0"``, never ``le="1"``) so
+    scrapers that key series by the literal label string see one
+    consistent series across writers; infinity renders as ``+Inf``.
+    """
+    if bound == float("inf"):
+        return "+Inf"
+    if bound == int(bound) and abs(bound) < 1e15:
+        return f"{int(bound)}.0"
+    return repr(bound)

@@ -30,7 +30,7 @@ from repro.machine.spec import system_a
 from repro.obs import Telemetry
 from repro.sim.driver import Simulation, SimulationConfig
 
-__all__ = ["run", "main"]
+__all__ = ["run", "main", "report_main", "regress_main"]
 
 
 def run(
@@ -49,6 +49,7 @@ def run(
     checkpoint_every: int | None = None,
     checkpoint: str = "checkpoint",
     resume: str | None = None,
+    ledger: str | None = None,
 ) -> tuple[Simulation, Telemetry]:
     """Run ``steps`` time steps of the §IX-A workload with telemetry on.
 
@@ -83,6 +84,7 @@ def run(
         n_workers=workers,
         checkpoint_every=checkpoint_every,
         checkpoint_path=checkpoint,
+        ledger_path=None if ledger in (None, "none", "off") else ledger,
     )
     if resume is not None:
         sim = Simulation.from_checkpoint(
@@ -122,6 +124,7 @@ def write_artifacts(sim: Simulation, telemetry: Telemetry, out: str) -> dict[str
 
 def main(**kwargs) -> dict[str, str]:
     out = kwargs.pop("out", "trace.json")
+    kwargs.setdefault("ledger", "auto")  # the CLI records itself by default
     sim, telemetry = run(**kwargs)
     paths = write_artifacts(sim, telemetry, out)
     drift = telemetry.drift.summary()
@@ -136,3 +139,76 @@ def main(**kwargs) -> dict[str, str]:
     )
     print("open the trace at https://ui.perfetto.dev")
     return paths
+
+
+def report_main(
+    *,
+    n: int = 50000,
+    steps: int = 1,
+    workers: int = 4,
+    seed: int = 0,
+    out: str | None = None,
+    ledger: str | None = "none",
+    **kwargs,
+) -> "object":
+    """``python -m repro report`` — why was this step slow?
+
+    Runs ``steps`` instrumented FMM steps of an ``n``-body Plummer
+    workload through the real thread-pool engine and prints the
+    critical-path analysis of the last step: the critical chain, per-
+    stage slack, and worker idle attribution (see
+    :mod:`repro.obs.critpath`).  ``--out report.json`` additionally
+    writes the full report as JSON; ``--ledger auto`` appends the run to
+    the flight-recorder ledger.
+    """
+    if workers < 2:
+        raise ValueError(
+            f"--workers must be >= 2 for a critical path (got {workers}); "
+            "the serial path has a single lane and no queue waits"
+        )
+    sim, telemetry = run(
+        n=n, steps=steps, workers=workers, seed=seed,
+        forces="fmm", ledger=ledger, **kwargs,
+    )
+    report = sim.last_critpath
+    if report is None:  # pragma: no cover - engine always ran with workers>=2
+        raise RuntimeError("no engine run was recorded; nothing to report")
+    print(report.to_text())
+    if out:
+        Path(out).write_text(
+            json.dumps(report.to_dict(), indent=2), encoding="utf-8"
+        )
+        print(f"\nwrote {out}")
+    return report
+
+
+def regress_main(
+    *,
+    ledger: str | None = None,
+    window: int = 5,
+    rel_tol: float = 0.15,
+    strict: str = "yes",
+    **kwargs,
+) -> int:
+    """``python -m repro regress`` — check the ledger for perf regressions.
+
+    Runs the tolerance-banded comparator over every gated bench present
+    in the ledger (default: the committed ``RUNS.jsonl`` trajectory) and
+    exits non-zero on any failed verdict — the CI ``regression-check``
+    step is exactly this command.
+    """
+    from repro.obs.ledger import RunLedger
+    from repro.obs.regress import check_all
+
+    store = RunLedger(ledger)
+    verdicts = check_all(store, window=window, rel_tol=rel_tol, **kwargs)
+    if not verdicts:
+        print(f"no gated bench records in {store.path}; nothing to check")
+        return 0
+    failed = 0
+    for verdict in verdicts:
+        print(verdict)
+        failed += 0 if verdict.ok else 1
+    if failed and strict not in ("no", "false", "0"):
+        raise SystemExit(f"{failed} perf regression(s) detected in {store.path}")
+    return failed

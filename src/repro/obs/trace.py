@@ -23,6 +23,14 @@ allocating anything, which is what lets instrumentation stay inline in
 hot loops (see ``benchmarks/test_bench_obs_overhead.py`` for the <2%
 budget).
 
+An *enabled* tracer is thread-safe: spans may be opened concurrently from
+execution-engine worker threads.  Every span carries a process-unique
+``span_id`` plus the ``parent_id`` of the innermost span open *on the
+same thread* (span stacks are thread-local, so concurrent workers can
+never interleave each other's parent chains), and spans opened off the
+main thread land on their own wall-process lane named after the thread.
+Event-list mutations are lock-guarded.
+
 Export follows the Trace Event Format (the JSON consumed by
 ``chrome://tracing`` and https://ui.perfetto.dev): complete events
 (``ph="X"``) with microsecond ``ts``/``dur``, counter events (``ph="C"``)
@@ -33,7 +41,9 @@ threads.
 
 from __future__ import annotations
 
+import itertools
 import json
+import threading
 import time
 from typing import Any, Callable, Iterable
 
@@ -75,15 +85,24 @@ def _json_default(obj: Any):
 
 
 class Span:
-    """One live wall-clock section; created by :meth:`Tracer.span`."""
+    """One live wall-clock section; created by :meth:`Tracer.span`.
 
-    __slots__ = ("tracer", "name", "args", "ts", "_start")
+    Spans carry a process-unique ``span_id`` and the ``parent_id`` of the
+    enclosing span *on the same thread* (exported as top-level event
+    fields, so ``args`` stays exactly what the caller set).  The parent
+    chain is resolved against a thread-local stack: spans opened by
+    concurrent engine workers nest within their own thread only.
+    """
+
+    __slots__ = ("tracer", "name", "args", "ts", "span_id", "parent_id", "_start")
 
     def __init__(self, tracer: "Tracer", name: str, args: dict[str, Any]) -> None:
         self.tracer = tracer
         self.name = name
         self.args = args
         self.ts = 0.0
+        self.span_id = next(tracer._ids)
+        self.parent_id: int | None = None
         self._start = 0.0
 
     def set(self, **args: Any) -> None:
@@ -93,26 +112,31 @@ class Span:
     def __enter__(self) -> "Span":
         self._start = self.tracer._clock()
         self.ts = (self._start - self.tracer._epoch) * 1e6
-        self.tracer._stack.append(self.name)
+        stack = self.tracer._thread_stack()
+        self.parent_id = stack[-1].span_id if stack else None
+        stack.append(self)
         return self
 
     def __exit__(self, *exc) -> None:
         end = self.tracer._clock()
-        stack = self.tracer._stack
-        if stack and stack[-1] == self.name:
+        stack = self.tracer._thread_stack()
+        if stack and stack[-1] is self:
             stack.pop()
-        self.tracer._events.append(
-            {
-                "ph": "X",
-                "name": self.name,
-                "cat": "wall",
-                "pid": WALL_PID,
-                "tid": 0,
-                "ts": self.ts,
-                "dur": (end - self._start) * 1e6,
-                "args": self.args,
-            }
-        )
+        event = {
+            "ph": "X",
+            "name": self.name,
+            "cat": "wall",
+            "pid": WALL_PID,
+            "tid": self.tracer._thread_tid(),
+            "ts": self.ts,
+            "dur": (end - self._start) * 1e6,
+            "span_id": self.span_id,
+            "args": self.args,
+        }
+        if self.parent_id is not None:
+            event["parent_id"] = self.parent_id
+        with self.tracer._lock:
+            self.tracer._events.append(event)
 
 
 class Tracer:
@@ -133,10 +157,38 @@ class Tracer:
         self._clock = clock
         self._epoch = clock() if enabled else 0.0
         self._events: list[dict[str, Any]] = []
-        self._stack: list[str] = []
         #: per-pid cursor (µs) where the next batch of simulated lanes starts
         self._lane_cursor: dict[int, float] = {}
         self._named_threads: set[tuple[int, Any]] = set()
+        #: guards event/metadata mutations (spans may close on pool threads)
+        self._lock = threading.Lock()
+        #: process-unique span ids (itertools.count is GIL-atomic)
+        self._ids = itertools.count(1)
+        #: thread-local open-span stacks — parent chains never cross threads
+        self._local = threading.local()
+        #: wall-process lane per non-main thread: ident -> dense tid >= 1
+        self._thread_tids: dict[int, int] = {threading.get_ident(): 0}
+
+    def _thread_stack(self) -> list["Span"]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _thread_tid(self) -> int:
+        """Wall-process lane of the calling thread (0 = the main thread).
+
+        Other threads get dense lane ids on first use, named after the
+        thread so engine-worker spans read as their own Perfetto rows.
+        """
+        ident = threading.get_ident()
+        tid = self._thread_tids.get(ident)
+        if tid is None:
+            with self._lock:
+                tid = self._thread_tids.setdefault(ident, len(self._thread_tids))
+                if (WALL_PID, tid) not in self._named_threads:
+                    self._name_thread(WALL_PID, tid, threading.current_thread().name)
+        return tid
 
     # ---------------------------------------------------------------- spans
     def span(self, name: str, **args: Any) -> Span | _NullSpan:
@@ -149,18 +201,18 @@ class Tracer:
         """A zero-duration marker (balancer actions, cache invalidations)."""
         if not self.enabled:
             return
-        self._events.append(
-            {
-                "ph": "i",
-                "name": name,
-                "cat": "event",
-                "pid": WALL_PID,
-                "tid": 0,
-                "ts": (self._clock() - self._epoch) * 1e6,
-                "s": "t",
-                "args": args,
-            }
-        )
+        event = {
+            "ph": "i",
+            "name": name,
+            "cat": "event",
+            "pid": WALL_PID,
+            "tid": self._thread_tid(),
+            "ts": (self._clock() - self._epoch) * 1e6,
+            "s": "t",
+            "args": args,
+        }
+        with self._lock:
+            self._events.append(event)
 
     def counter(self, name: str, value: float, **extra: float) -> None:
         """A counter sample (``ph="C"``): trajectories like S over time."""
@@ -168,17 +220,17 @@ class Tracer:
             return
         series = {name: value}
         series.update(extra)
-        self._events.append(
-            {
-                "ph": "C",
-                "name": name,
-                "cat": "counter",
-                "pid": WALL_PID,
-                "tid": 0,
-                "ts": (self._clock() - self._epoch) * 1e6,
-                "args": series,
-            }
-        )
+        event = {
+            "ph": "C",
+            "name": name,
+            "cat": "counter",
+            "pid": WALL_PID,
+            "tid": 0,
+            "ts": (self._clock() - self._epoch) * 1e6,
+            "args": series,
+        }
+        with self._lock:
+            self._events.append(event)
 
     # ------------------------------------------------------- simulated lanes
     def add_worker_lanes(
@@ -188,6 +240,8 @@ class Tracer:
         pid: int = SIM_PID,
         makespan: float | None = None,
         phase: str = "schedule",
+        lane_names: dict[int, str] | None = None,
+        advance_cursor: bool = True,
     ) -> None:
         """Replay a scheduler-simulator timeline as per-worker trace lanes.
 
@@ -196,32 +250,41 @@ class Tracer:
         :attr:`repro.runtime.scheduler.ScheduleResult.timeline`).  Batches
         land end to end on process ``pid``: each call starts where the
         previous one (plus its makespan) stopped, so consecutive steps'
-        schedules do not overlap.
+        schedules do not overlap.  ``lane_names`` overrides the default
+        ``worker-<i>`` lane naming (e.g. a synthetic ``critical-path``
+        lane); ``advance_cursor=False`` overlays this batch on the same
+        time window as the *next* batch instead of consuming cursor space
+        (used to draw the critical path alongside the worker lanes it was
+        extracted from).
         """
         if not self.enabled:
             return
-        base = self._lane_cursor.get(pid, 0.0)
-        last_end = 0.0
-        for label, worker, start, end in timeline:
-            if (pid, worker) not in self._named_threads:
-                self._name_thread(pid, worker, f"worker-{worker}")
-            self._events.append(
-                {
-                    "ph": "X",
-                    "name": str(label) or "task",
-                    "cat": phase,
-                    "pid": pid,
-                    "tid": worker,
-                    "ts": base + start * 1e6,
-                    "dur": max(0.0, end - start) * 1e6,
-                }
-            )
-            if end > last_end:
-                last_end = end
-        span = makespan if makespan is not None else last_end
-        self._lane_cursor[pid] = base + span * 1e6
+        with self._lock:
+            base = self._lane_cursor.get(pid, 0.0)
+            last_end = 0.0
+            for label, worker, start, end in timeline:
+                if (pid, worker) not in self._named_threads:
+                    name = (lane_names or {}).get(worker, f"worker-{worker}")
+                    self._name_thread(pid, worker, name)
+                self._events.append(
+                    {
+                        "ph": "X",
+                        "name": str(label) or "task",
+                        "cat": phase,
+                        "pid": pid,
+                        "tid": worker,
+                        "ts": base + start * 1e6,
+                        "dur": max(0.0, end - start) * 1e6,
+                    }
+                )
+                if end > last_end:
+                    last_end = end
+            if advance_cursor:
+                span = makespan if makespan is not None else last_end
+                self._lane_cursor[pid] = base + span * 1e6
 
     def _name_thread(self, pid: int, tid: Any, name: str) -> None:
+        """Emit thread-name metadata; callers must hold ``_lock``."""
         self._named_threads.add((pid, tid))
         self._events.append(
             {
@@ -293,7 +356,9 @@ class Tracer:
             fh.write(self.to_json())
 
     def clear(self) -> None:
-        self._events.clear()
-        self._stack.clear()
-        self._lane_cursor.clear()
-        self._named_threads.clear()
+        with self._lock:
+            self._events.clear()
+            self._lane_cursor.clear()
+            self._named_threads.clear()
+            self._thread_tids = {threading.get_ident(): 0}
+            self._local = threading.local()

@@ -38,11 +38,19 @@ The engine is a *supervised* substrate (DESIGN.md §11):
 
 Every executed task records a real ``(label, worker, start, end)``
 interval (``time.perf_counter`` seconds relative to the run start), which
-feeds two consumers: the Perfetto "real workers" trace process
-(:meth:`repro.obs.Tracer.add_worker_lanes` with ``pid=REAL_PID``) and the
+feeds three consumers: the Perfetto "real workers" trace process
+(:meth:`repro.obs.Tracer.add_worker_lanes` with ``pid=REAL_PID``), the
 §IV-D cost model — tasks tagged with an ``op`` and an ``applications``
 count aggregate into a :class:`~repro.util.timing.TimerRegistry` whose
-coefficients come from measured wall-clock rather than the machine model.
+coefficients come from measured wall-clock rather than the machine model —
+and the critical-path profiler (:mod:`repro.obs.critpath`).  For the
+profiler each interval also carries its task id, its dependency edges
+(parent-span links), and the instant the task became *ready* (all deps
+done and it entered the ready queue), so ``start - ready`` is the queue
+wait: time lost to worker scarcity rather than the DAG itself.  The
+scheduler additionally samples the ready-queue depth whenever it grows,
+so :attr:`EngineResult.max_ready_depth` says how much parallelism the
+graph ever exposed at once.
 """
 
 from __future__ import annotations
@@ -219,11 +227,21 @@ class TaskNode:
     op: str | None = None
     applications: int = 0
     retryable: bool = True
+    #: pipeline stage for critical-path grouping (defaults to the label's
+    #: leading component, e.g. ``"M2L"`` from ``"M2L:d0-8"``)
+    stage: str | None = None
 
 
 @dataclass(frozen=True)
 class TaskInterval:
-    """Measured execution record of one task."""
+    """Measured execution record of one task.
+
+    ``task_id``/``deps`` mirror the executed :class:`TaskNode`'s identity
+    and dependency edges (parent-span links for the critical-path
+    profiler); ``ready`` is the instant the task entered the ready queue,
+    so ``queue_wait`` separates "waited for a free worker" from "waited
+    for its dependencies".
+    """
 
     label: str
     worker: int
@@ -231,10 +249,19 @@ class TaskInterval:
     end: float
     op: str | None = None
     applications: int = 0
+    task_id: int = -1
+    deps: tuple[int, ...] = ()
+    ready: float = 0.0
+    stage: str | None = None
 
     @property
     def duration(self) -> float:
         return self.end - self.start
+
+    @property
+    def queue_wait(self) -> float:
+        """Seconds between becoming ready and starting to execute."""
+        return max(0.0, self.start - self.ready)
 
 
 class TaskGraphBuilder:
@@ -252,6 +279,7 @@ class TaskGraphBuilder:
         op: str | None = None,
         applications: int = 0,
         retryable: bool = True,
+        stage: str | None = None,
     ) -> int:
         """Append a task; returns its id for use in later ``deps``."""
         tid = len(self.nodes)
@@ -267,6 +295,7 @@ class TaskGraphBuilder:
                 op=op,
                 applications=applications,
                 retryable=retryable,
+                stage=stage,
             )
         )
         return tid
@@ -289,11 +318,19 @@ class EngineResult:
     intervals: list[TaskInterval] = field(default_factory=list)
     retries: int = 0
     failures: list[TaskFailure] = field(default_factory=list)
+    #: peak ready-queue depth observed while scheduling: how many tasks
+    #: were runnable-but-unstarted at once (exposed parallelism)
+    max_ready_depth: int = 0
 
     @property
     def busy_time(self) -> float:
         """Summed task execution seconds across all workers."""
         return sum(iv.duration for iv in self.intervals)
+
+    @property
+    def total_queue_wait(self) -> float:
+        """Summed ready-to-start wait seconds across all tasks."""
+        return sum(iv.queue_wait for iv in self.intervals)
 
     @property
     def utilization(self) -> float:
@@ -442,6 +479,8 @@ class ExecutionEngine:
         deadline = self.config.deadline_s
         indeg, dependents = _edges(nodes)
         ready = deque(t.id for t in nodes if indeg[t.id] == 0)
+        ready_at = [0.0] * len(nodes)  # roots are ready at the epoch
+        max_depth = len(ready)
         intervals: list[TaskInterval] = []
         failures: list[TaskFailure] = []
         retries = 0
@@ -465,7 +504,10 @@ class ExecutionEngine:
                 except BaseException as e:
                     end = time.perf_counter() - epoch
                     intervals.append(
-                        TaskInterval(node.label, 0, start, end, None, 0)
+                        TaskInterval(
+                            node.label, 0, start, end, None, 0,
+                            node.id, node.deps, ready_at[tid], node.stage,
+                        )
                     )
                     can_retry = (
                         node.retryable and attempt + 1 < retry.max_attempts
@@ -485,15 +527,20 @@ class ExecutionEngine:
                 end = time.perf_counter() - epoch
                 intervals.append(
                     TaskInterval(
-                        node.label, 0, start, end, node.op, node.applications
+                        node.label, 0, start, end, node.op, node.applications,
+                        node.id, node.deps, ready_at[tid], node.stage,
                     )
                 )
                 break
             done += 1
+            now = time.perf_counter() - epoch
             for nxt in dependents.get(tid, ()):
                 indeg[nxt] -= 1
                 if indeg[nxt] == 0:
+                    ready_at[nxt] = now
                     ready.append(nxt)
+            if len(ready) > max_depth:
+                max_depth = len(ready)
         if done != len(nodes):
             raise RuntimeError("task graph contains a dependency cycle")
         return EngineResult(
@@ -503,6 +550,7 @@ class ExecutionEngine:
             intervals=intervals,
             retries=retries,
             failures=failures,
+            max_ready_depth=max_depth,
         )
 
     # ---- parallel: scheduler thread feeding a persistent pool
@@ -519,6 +567,8 @@ class ExecutionEngine:
         retries = 0
         epoch = time.perf_counter()
         self._active_cond = cond
+
+        ready_at = [0.0] * len(nodes)  # roots are ready at the epoch
 
         def execute(node: TaskNode, attempt: int) -> None:
             if attempt > 0 and retry.backoff_s > 0.0:
@@ -543,6 +593,10 @@ class ExecutionEngine:
                         end,
                         None if err is not None else node.op,
                         0 if err is not None else node.applications,
+                        node.id,
+                        node.deps,
+                        ready_at[node.id],
+                        node.stage,
                     )
                 )
                 completed.append((node.id, err))
@@ -552,6 +606,7 @@ class ExecutionEngine:
         pending = len(nodes)
         in_flight = 0
         ready = deque(t.id for t in nodes if indeg[t.id] == 0)
+        max_depth = len(ready)
         abort: BaseException | None = None
         abort_cause: BaseException | None = None
         try:
@@ -585,10 +640,14 @@ class ExecutionEngine:
                         in_flight -= 1
                         if err is None:
                             pending -= 1
+                            now = time.perf_counter() - epoch
                             for nxt in dependents.get(tid, ()):
                                 indeg[nxt] -= 1
                                 if indeg[nxt] == 0:
+                                    ready_at[nxt] = now
                                     ready.append(nxt)
+                            if len(ready) > max_depth:
+                                max_depth = len(ready)
                             continue
                         node = nodes[tid]
                         can_retry = (
@@ -634,6 +693,7 @@ class ExecutionEngine:
             intervals=intervals,
             retries=retries,
             failures=failures,
+            max_ready_depth=max_depth,
         )
 
 

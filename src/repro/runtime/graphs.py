@@ -101,7 +101,9 @@ def add_far_field_tasks(
     passes in one graph); ``n_chunks`` bounds the M2L chunk fan-out.
     """
     geom = p.geom
-    t_p2m = g.add(p.p2m, label=f"{tag}P2M", op="P2M", applications=p.n_bodies)
+    t_p2m = g.add(
+        p.p2m, label=f"{tag}P2M", op="P2M", applications=p.n_bodies, stage="P2M"
+    )
 
     # ---- upsweep: per-class deltas, one ordered merge per level
     prev = t_p2m
@@ -113,6 +115,7 @@ def add_far_field_tasks(
                 deps=(prev,),
                 op="M2M",
                 applications=int(geom.up_classes[ci][0].size),
+                stage="M2M",
             )
             for ci in level
         ]
@@ -122,6 +125,7 @@ def add_far_field_tasks(
             deps=tuple(deltas),
             op="M2M",
             retryable=False,
+            stage="M2M",
         )
     upsweep_done = prev
 
@@ -136,6 +140,7 @@ def add_far_field_tasks(
             deps=(upsweep_done,),
             op="M2L",
             applications=int(sum(weights[lo:hi])),
+            stage="M2L",
         )
         merge_deps = (delta,) if merge_prev is None else (delta, merge_prev)
         merge_prev = g.add(
@@ -144,6 +149,7 @@ def add_far_field_tasks(
             deps=merge_deps,
             op="M2L",
             retryable=False,
+            stage="M2L",
         )
     if merge_prev is not None:
         translate_done = merge_prev
@@ -152,7 +158,11 @@ def add_far_field_tasks(
     # merge lands after every M2L class merge, matching the serial order
     if geom.x_recv_rows.size:
         t_p2l = g.add(
-            p.p2l_compute, label=f"{tag}P2L", op="P2L", applications=p.n_p2l_rows
+            p.p2l_compute,
+            label=f"{tag}P2L",
+            op="P2L",
+            applications=p.n_p2l_rows,
+            stage="P2L",
         )
         translate_done = g.add(
             p.p2l_merge,
@@ -160,6 +170,7 @@ def add_far_field_tasks(
             deps=(translate_done, t_p2l),
             op="P2L",
             retryable=False,
+            stage="P2L",
         )
 
     # ---- downsweep: classes of one level are scatter-disjoint (each
@@ -175,12 +186,18 @@ def add_far_field_tasks(
                 op="L2L",
                 applications=int(geom.down_classes[ci][1].size),
                 retryable=False,
+                stage="L2L",
             )
             for ci in level
         )
 
     t_l2p = g.add(
-        p.l2p, label=f"{tag}L2P", deps=prev_level, op="L2P", applications=p.n_bodies
+        p.l2p,
+        label=f"{tag}L2P",
+        deps=prev_level,
+        op="L2P",
+        applications=p.n_bodies,
+        stage="L2P",
     )
     done = t_l2p
 
@@ -193,6 +210,7 @@ def add_far_field_tasks(
             deps=(upsweep_done,),
             op="M2P",
             applications=p.n_m2p_rows,
+            stage="M2P",
         )
         done = g.add(
             p.m2p_merge,
@@ -200,6 +218,7 @@ def add_far_field_tasks(
             deps=(t_l2p, t_m2p),
             op="M2P",
             retryable=False,
+            stage="M2P",
         )
     return done
 
@@ -226,6 +245,7 @@ def add_near_field_tasks(
             op="P2P",
             applications=int(sum(weights[lo:hi])),
             retryable=False,
+            stage="P2P",
         )
         for lo, hi in chunk_ranges(weights, n_chunks)
     ]
@@ -235,6 +255,7 @@ def add_near_field_tasks(
         deps=tuple(group_tasks) if group_tasks else deps,
         op="P2P",
         retryable=False,
+        stage="P2P",
     )
 
 

@@ -31,6 +31,8 @@ from repro.kernels.direct import direct_evaluate
 from repro.machine.executor import HeterogeneousExecutor
 from repro.machine.spec import MachineSpec
 from repro.obs import NULL_TELEMETRY, REAL_PID, Telemetry
+from repro.obs.critpath import analyze as critpath_analyze
+from repro.obs.critpath import critical_path_timeline
 from repro.resilience.checkpoint import (
     CheckpointError,
     config_fingerprint,
@@ -45,6 +47,7 @@ from repro.sim.integrators import LeapfrogIntegrator, reflect_into_box
 from repro.tree.cache import ListCache
 from repro.tree.octree import AdaptiveOctree
 from repro.util.records import EventLog
+from repro.util.timing import TimerRegistry
 
 __all__ = ["Simulation", "SimulationConfig", "StepRecord"]
 
@@ -77,6 +80,9 @@ class SimulationConfig:
     checkpoint_every: int | None = None
     #: checkpoint stem; files land at ``{stem}.npz`` + ``{stem}.json``
     checkpoint_path: str = "checkpoint"
+    #: append a flight-recorder RunRecord here on close (None = disabled;
+    #: "auto" = the repo-root ``RUNS.jsonl`` / ``$REPRO_LEDGER``)
+    ledger_path: str | None = None
 
     def __post_init__(self) -> None:
         if self.dt <= 0:
@@ -190,6 +196,11 @@ class Simulation:
         self.step_index = 0
         self._needs_rebuild = True
         self._closed = False
+        #: critical-path report of the most recent engine run (telemetry on)
+        self.last_critpath = None
+        self._ledger_written = False
+        #: run-level per-op totals (modeled CPU times), fed to the ledger
+        self.op_timers = TimerRegistry()
         #: numeric-quarantine trips (also exported as a metric when
         #: telemetry is enabled)
         self.quarantines = 0
@@ -200,7 +211,8 @@ class Simulation:
         Idempotent and exception-safe: safe to call from ``finally``
         blocks and ``__exit__`` after a mid-step failure.  The simulation
         stays usable — the engine lazily recreates its pool if stepped
-        again.
+        again.  When the config names a ledger, the run's flight-recorder
+        record is appended here (once, even across repeated closes).
         """
         self._closed = True
         if self.engine is not None:
@@ -208,6 +220,64 @@ class Simulation:
                 self.engine.close()
             except Exception:
                 pass  # a failed shutdown must not mask the original error
+        if self.config.ledger_path is not None and not self._ledger_written:
+            self._ledger_written = True
+            try:
+                self.write_ledger_record()
+            except Exception:
+                pass  # the recorder must never take the simulation down
+
+    def write_ledger_record(self, path: str | None = None):
+        """Append this run's :class:`~repro.obs.ledger.RunRecord`.
+
+        Captures the whole feedback loop in one line: per-op observed
+        coefficients, balancer decision summary, drift residuals, engine
+        utilization + critical path, and Table-II style aggregates.
+        """
+        from repro.obs.ledger import RunLedger, RunRecord
+
+        target = path if path is not None else self.config.ledger_path
+        if target in (None, "auto"):
+            target = None  # RunLedger falls back to the default location
+        tel = self.telemetry
+        if self.last_critpath is None and self.solver is not None:
+            # telemetry-off runs never consumed the engine result: do it now
+            res = self.solver.last_engine_result
+            if res is not None:
+                self.last_critpath = critpath_analyze(res)
+        record = RunRecord(
+            bench="simulation",
+            kind="run",
+            config_hash=config_fingerprint(
+                self.config, self.kernel, self.machine, self.particles.n, self.domain
+            ),
+            metrics={
+                **self.summary(),
+                "quarantines": self.quarantines,
+            },
+            timers={
+                op: {"seconds": t.total_time, "applications": t.count}
+                for op, t in self.op_timers.timers.items()
+            },
+            balancer={
+                **self.balancer.decision_summary(),
+                "coefficients": self.balancer.coeffs.as_dict(),
+            },
+            engine=(
+                self.last_critpath.summary_for_ledger()
+                if self.last_critpath is not None
+                else {}
+            ),
+            drift=tel.drift.summary() if tel.enabled else {},
+            extra={
+                "n_bodies": self.particles.n,
+                "n_steps": len(self.log),
+                "forces": self.config.forces,
+                "strategy": self.config.strategy,
+                "n_workers": self.config.n_workers,
+            },
+        )
+        return RunLedger(target).append(record)
 
     def __enter__(self) -> "Simulation":
         return self
@@ -300,6 +370,8 @@ class Simulation:
                 predicted = predict_times(lists.op_counts(), self.balancer.coeffs)
 
             timing = self.executor.time_step(tree, lists)
+            for op, t in timing.cpu_registry.timers.items():
+                self.op_timers.timer(op).add(t.total_time, t.count)
 
             with tracer.span("physics"):
                 # physics: one leapfrog step with forces from the current tree
@@ -476,9 +548,29 @@ class Simulation:
         if res is None:
             return
         self.solver.last_engine_result = None
+        report = critpath_analyze(res)
+        self.last_critpath = report
+        # overlay the critical chain on the same time window as the real
+        # worker lanes (advance_cursor=False shares their batch base)
+        rows, names = critical_path_timeline(report)
+        tel.tracer.add_worker_lanes(
+            rows,
+            pid=REAL_PID,
+            phase="critical_path",
+            lane_names=names,
+            advance_cursor=False,
+        )
         tel.tracer.add_worker_lanes(
             res.timeline(), pid=REAL_PID, makespan=res.makespan, phase="engine"
         )
+        tel.metrics.gauge(
+            "engine_max_ready_depth",
+            "peak ready-queue depth of the last engine run (exposed parallelism)",
+        ).set(res.max_ready_depth)
+        tel.metrics.gauge(
+            "engine_queue_wait_seconds",
+            "summed ready-to-start wait of the last engine run's tasks",
+        ).set(res.total_queue_wait)
         rs = tel.drift.observe_runtime(
             self.step_index, simulated=timing.compute_time, measured=res.makespan
         )

@@ -395,7 +395,9 @@ class TestEngineInstrumentation:
     def test_real_worker_lanes_present(self, engine_run):
         _, tel = engine_run
         lanes = [
-            e for e in tel.tracer.events if e.get("pid") == REAL_PID and e["ph"] == "X"
+            e
+            for e in tel.tracer.events
+            if e.get("pid") == REAL_PID and e["ph"] == "X" and e.get("cat") == "engine"
         ]
         assert lanes, "engine runs exported no real worker intervals"
         assert {e["tid"] for e in lanes} <= {0, 1}
@@ -438,6 +440,224 @@ class TestEngineInstrumentation:
         assert any("cpu-real" in k for k in snap)
 
 
+
+
+# ------------------------------------------------------- tracer thread-safety
+class TestTracerThreadSafety:
+    """Concurrent spans from engine workers must nest per worker lane and
+    never interleave parent ids across threads."""
+
+    def _spans_by_thread(self, tracer):
+        lanes = {}
+        for ev in tracer.events:
+            if ev["ph"] == "X":
+                lanes.setdefault(ev["tid"], []).append(ev)
+        return lanes
+
+    def test_engine_worker_spans_nest_per_lane(self):
+        from repro.runtime.engine import ExecutionEngine, TaskGraphBuilder
+
+        tracer = Tracer()
+
+        def work(i):
+            def fn():
+                with tracer.span("outer", task=i):
+                    with tracer.span("inner", task=i):
+                        pass
+
+            return fn
+
+        g = TaskGraphBuilder()
+        for i in range(64):
+            g.add(work(i), label=f"t{i}")
+        with ExecutionEngine(n_workers=4) as eng:
+            eng.run(g)
+
+        spans = [e for e in tracer.events if e["ph"] == "X"]
+        assert len(spans) == 128
+        by_id = {e["span_id"]: e for e in spans}
+        assert len(by_id) == 128, "span ids collided across threads"
+        for ev in spans:
+            parent = ev.get("parent_id")
+            if ev["name"] == "inner":
+                # the parent is the same task's outer span, on the SAME lane
+                assert parent is not None
+                assert by_id[parent]["name"] == "outer"
+                assert by_id[parent]["tid"] == ev["tid"]
+                assert by_id[parent]["args"]["task"] == ev["args"]["task"]
+            else:
+                assert parent is None  # outer spans never adopt another
+                # thread's open span as parent
+
+    def test_engine_worker_spans_get_named_lanes(self):
+        from repro.runtime.engine import ExecutionEngine, TaskGraphBuilder
+
+        tracer = Tracer()
+        g = TaskGraphBuilder()
+        for i in range(16):
+            g.add(
+                (lambda j: lambda: tracer.span("s", i=j).__enter__().__exit__())(i),
+                label=f"t{i}",
+            )
+        with ExecutionEngine(n_workers=4) as eng:
+            eng.run(g)
+        named = {
+            e["tid"]
+            for e in tracer.events
+            if e["ph"] == "M" and e["name"] == "thread_name" and e["pid"] == WALL_PID
+        }
+        used = {e["tid"] for e in tracer.events if e["ph"] == "X"}
+        assert used <= named | {0}, "worker lane used without thread_name metadata"
+        assert 0 not in used, "worker spans landed on the main thread's lane"
+
+    def test_concurrent_spans_from_raw_threads(self):
+        import threading
+
+        tracer = Tracer()
+        barrier = threading.Barrier(4)
+
+        def worker(k):
+            barrier.wait()
+            for i in range(50):
+                with tracer.span("a", k=k):
+                    with tracer.span("b", k=k):
+                        pass
+
+        threads = [threading.Thread(target=worker, args=(k,)) for k in range(4)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        spans = [e for e in tracer.events if e["ph"] == "X"]
+        assert len(spans) == 400
+        by_id = {e["span_id"]: e for e in spans}
+        for ev in spans:
+            if ev["name"] == "b":
+                parent = by_id[ev["parent_id"]]
+                assert parent["args"]["k"] == ev["args"]["k"]
+                assert parent["tid"] == ev["tid"]
+
+    def test_clear_resets_thread_state(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        tracer.clear()
+        assert len(tracer) == 0
+        with tracer.span("y"):
+            pass
+        (ev,) = tracer.events
+        assert ev["name"] == "y" and ev.get("parent_id") is None
+
+
+# --------------------------------------------------- histogram spec round-trip
+class TestPrometheusHistogramRoundTrip:
+    """OpenMetrics exposition: float-canonical ``le`` values, cumulative
+    ordering, and a closing ``+Inf`` bucket equal to ``_count`` — verified
+    by parsing the exposed text back."""
+
+    @staticmethod
+    def _parse_buckets(text, name):
+        rows = []
+        for line in text.splitlines():
+            if line.startswith(f"{name}_bucket"):
+                le = line.split('le="')[1].split('"')[0]
+                count = int(line.rsplit(" ", 1)[1])
+                rows.append((le, count))
+        return rows
+
+    def test_integral_bounds_expose_as_floats(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(1, 2.5, 10))
+        h.observe(0.5)
+        rows = self._parse_buckets(reg.to_prometheus(), "lat")
+        assert [le for le, _ in rows] == ["1.0", "2.5", "10.0", "+Inf"]
+
+    def test_round_trip_cumulative_and_inf(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("step_ms", "per-step", buckets=(0.5, 1.0, 5.0))
+        for v in (0.1, 0.7, 0.7, 3.0, 99.0):
+            h.observe(v)
+        text = reg.to_prometheus()
+        rows = self._parse_buckets(text, "step_ms")
+        # +Inf closes the series and equals _count
+        assert rows[-1][0] == "+Inf"
+        assert rows[-1][1] == 5
+        assert f"step_ms_count 5" in text
+        # bounds ascend and counts are monotonically non-decreasing
+        bounds = [float(le) for le, _ in rows[:-1]]
+        assert bounds == sorted(bounds)
+        counts = [c for _, c in rows]
+        assert counts == sorted(counts)
+        assert counts == [1, 3, 4, 5]
+        # reconstructing per-bucket deltas recovers every observation
+        assert sum(b - a for a, b in zip([0] + counts, counts)) == h.count
+
+    def test_explicit_inf_bound_not_duplicated(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("x", buckets=(1.0, float("inf")))
+        h.observe(0.5)
+        rows = self._parse_buckets(reg.to_prometheus(), "x")
+        assert [le for le, _ in rows] == ["1.0", "+Inf"]
+
+    def test_all_inf_buckets_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.histogram("bad", buckets=(float("inf"),))
+
+
+# ----------------------------------------------------------- drift edge cases
+class TestDriftEdgeCases:
+    def _sample(self, **kw):
+        tracker = DriftTracker()
+        defaults = dict(
+            predicted=TimePrediction(cpu_time=1.0, gpu_time=0.5),
+            observed_cpu=1.1,
+            observed_gpu=0.4,
+        )
+        defaults.update(kw)
+        return tracker, tracker.observe(0, **defaults)
+
+    def test_zero_predicted_time(self):
+        tracker, s = self._sample(
+            predicted=TimePrediction(cpu_time=0.0, gpu_time=0.0)
+        )
+        assert s.residual == pytest.approx(1.0)  # fully under-predicted
+        assert np.isfinite(tracker.summary()["mean_abs_residual"])
+
+    def test_zero_observed_time_guarded(self):
+        _, s = self._sample(observed_cpu=0.0, observed_gpu=0.0)
+        assert s.residual == 0.0
+
+    def test_nan_observed_guarded(self):
+        tracker, s = self._sample(observed_cpu=float("nan"))
+        assert s.residual == 0.0
+        assert s.imbalance == 0.0
+        summary = tracker.summary()
+        assert np.isfinite(summary["mean_abs_residual"])
+        assert np.isfinite(summary["mean_imbalance"])
+
+    def test_nan_predicted_guarded(self):
+        _, s = self._sample(
+            predicted=TimePrediction(cpu_time=float("nan"), gpu_time=0.1)
+        )
+        assert s.residual == 0.0
+
+    def test_single_observation_window(self):
+        tracker, s = self._sample()
+        assert len(tracker) == 1
+        summary = tracker.summary()
+        assert summary["n_predicted_steps"] == 1
+        assert summary["mean_abs_residual"] == pytest.approx(abs(s.residual))
+        assert summary["max_abs_residual"] == summary["mean_abs_residual"]
+
+    def test_runtime_sample_nan_and_zero_guarded(self):
+        tracker = DriftTracker()
+        assert tracker.observe_runtime(0, simulated=1.0, measured=0.0).residual == 0.0
+        assert (
+            tracker.observe_runtime(1, simulated=float("nan"), measured=2.0).residual
+            == 0.0
+        )
+        assert np.isfinite(tracker.summary()["runtime_model_residual"])
 
 
 class _FakeClock:
