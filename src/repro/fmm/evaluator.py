@@ -82,6 +82,9 @@ class FMMSolver:
         self.engine = engine
         #: :class:`repro.runtime.engine.EngineResult` of the last engine solve
         self.last_engine_result = None
+        #: :class:`repro.runtime.shards.ShardRunResult` of the last sharded
+        #: solve (``engine`` is a :class:`~repro.runtime.shards.ProcessEngine`)
+        self.last_shard_result = None
         #: graph failures absorbed by the serial fallback (DESIGN.md §11)
         self.degraded_runs = 0
 
@@ -130,7 +133,11 @@ class FMMSolver:
         if q.shape[0] != tree.n_bodies:
             raise ValueError("strengths must have one entry per body")
 
-        if self.engine is not None:
+        if self.engine is not None and getattr(self.engine, "is_process", False):
+            far_pot, far_grad, near_pot, near_grad = self._solve_shards(
+                tree, lists, q, gradient, potential
+            )
+        elif self.engine is not None:
             far_pot, far_grad, near_pot, near_grad = self._solve_engine(
                 tree, lists, q, gradient, potential
             )
@@ -177,6 +184,41 @@ class FMMSolver:
             potential=want_potential,
             gradient=want_gradient,
         )
+
+    # -------------------------------------------------- multi-process shards
+    def _solve_shards(self, tree, lists, q, want_gradient, want_potential):
+        """Far + near field on the sharded multi-process backend.
+
+        Bitwise identical to the serial path by the merge contract of
+        :mod:`repro.runtime.shards` (whole-class matmuls, row-owner
+        ordered merges).  A shard failure — worker crash, barrier abort,
+        timeout — degrades to exact serial re-execution, mirroring the
+        thread engine's ladder.
+        """
+        from repro.runtime.shards import ShardExecutionError
+
+        try:
+            out = self.engine.solve_laplace(
+                tree,
+                lists,
+                self.expansion,
+                self.kernel,
+                q,
+                potential=want_potential,
+                gradient=want_gradient,
+            )
+        except ShardExecutionError as exc:
+            self.last_shard_result = None
+            self._record_degraded(exc, "laplace")
+            far_pot, far_grad = self._far_field(
+                tree, lists, q, want_gradient, want_potential
+            )
+            near_pot, near_grad = self._near_field(
+                tree, lists, q, want_gradient, want_potential
+            )
+            return far_pot, far_grad, near_pot, near_grad
+        self.last_shard_result = self.engine.last_result
+        return out
 
     # ------------------------------------------------- concurrent task graph
     def _solve_engine(self, tree, lists, q, want_gradient, want_potential):

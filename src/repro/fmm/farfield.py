@@ -117,6 +117,65 @@ def _class_segments(keys: np.ndarray) -> list[np.ndarray]:
     return [order[lo:hi] for lo, hi in zip(starts, ends)]
 
 
+def _node_row_state(tree, lists, eff_rows: np.ndarray, stats: dict):
+    """Aligned per-row node attributes: centers, levels, leafness, parent id.
+
+    A scratch build walks the node table once per effective row.  After an
+    incremental list repair only the rows of nodes in the accumulated
+    repair-affected set (plus rows new to the effective ordering) are
+    rederived through the Python node table; everything else is a
+    vectorized gather from the previous build's row cache, which is
+    parked on the lists as a plain attribute so it survives
+    ``drop_structural_derived``.  Safe because ``center``/``level``/
+    ``parent`` are immutable per node id and ``is_leaf`` only flips on
+    surgery-op nodes, which are always in the affected set.
+    ``stats["rows_rederived"]`` counts the slow-path rows either way.
+    """
+    nodes = tree.nodes
+    n_eff = eff_rows.size
+    centers = np.empty((n_eff, 3), dtype=float)
+    levels = np.empty(n_eff, dtype=np.int64)
+    is_leaf = np.empty(n_eff, dtype=bool)
+    parent_id = np.empty(n_eff, dtype=np.int64)
+    prev = getattr(lists, "farfield_row_cache", None)
+    acc = getattr(lists, "_repair_affected_nodes", None)
+    if prev is not None and acc is not None:
+        pos = np.full(len(nodes), -1, dtype=np.int64)
+        pos[prev["ids"]] = np.arange(prev["ids"].size)
+        hit = pos[eff_rows]
+        stale = (
+            np.isin(eff_rows, np.fromiter(acc, dtype=np.int64, count=len(acc)))
+            if acc
+            else np.zeros(n_eff, dtype=bool)
+        )
+        fresh = (hit >= 0) & ~stale
+        src = hit[fresh]
+        centers[fresh] = prev["centers"][src]
+        levels[fresh] = prev["levels"][src]
+        is_leaf[fresh] = prev["is_leaf"][src]
+        parent_id[fresh] = prev["parent_id"][src]
+        derive = np.nonzero(~fresh)[0]
+    else:
+        derive = np.arange(n_eff)
+    for i in derive.tolist():
+        nd = nodes[int(eff_rows[i])]
+        centers[i] = nd.center
+        levels[i] = nd.level
+        is_leaf[i] = nd.is_leaf
+        parent_id[i] = nd.parent
+    stats["rows_rederived"] += int(derive.size)
+    if acc is not None:
+        acc.clear()  # row cache is current again
+    lists.farfield_row_cache = {
+        "ids": eff_rows,
+        "centers": centers,
+        "levels": levels,
+        "is_leaf": is_leaf,
+        "parent_id": parent_id,
+    }
+    return centers, levels, is_leaf, parent_id
+
+
 def _cache_stats(lists: InteractionLists, attr: str, *extra: str) -> dict[str, int]:
     stats = getattr(lists, attr, None)
     if stats is None:
@@ -201,7 +260,12 @@ def far_field_geometry(
     key = f"farfield_geometry:{expansion.backend}:{expansion.order}"
     cached, store = lists.derived_cache(key, structural=True)
     stats = _cache_stats(
-        lists, "farfield_geometry_stats", "partial_rebuilds", "op_hits", "op_builds"
+        lists,
+        "farfield_geometry_stats",
+        "partial_rebuilds",
+        "op_hits",
+        "op_builds",
+        "rows_rederived",
     )
     if cached is not None:
         stats["hits"] += 1
@@ -230,16 +294,11 @@ def far_field_geometry(
     eff_rows = np.asarray(eff, dtype=np.int64)
     id2row = np.full(len(nodes), -1, dtype=np.int64)
     id2row[eff_rows] = np.arange(n_eff)
-    centers = np.array([nodes[i].center for i in eff], dtype=float)
-    levels = np.array([nodes[i].level for i in eff], dtype=np.int64)
-    is_leaf = np.array([nodes[i].is_leaf for i in eff], dtype=bool)
+    centers, levels, is_leaf, parent_id = _node_row_state(tree, lists, eff_rows, stats)
     leaf_rows = np.nonzero(is_leaf)[0]
     leaf_pos = np.full(n_eff, -1, dtype=np.int64)
     leaf_pos[leaf_rows] = np.arange(leaf_rows.size)
-    parent_row = np.array(
-        [id2row[nodes[i].parent] if nodes[i].parent >= 0 else -1 for i in eff],
-        dtype=np.int64,
-    )
+    parent_row = np.where(parent_id >= 0, id2row[np.clip(parent_id, 0, None)], -1)
 
     # ---- parent<->child shift classes: (level, octant) -> <= 8 per level
     child_rows = np.nonzero(parent_row >= 0)[0]

@@ -77,6 +77,9 @@ class StokesletFMMSolver:
         self.engine = engine
         #: :class:`repro.runtime.engine.EngineResult` of the last engine solve
         self.last_engine_result = None
+        #: :class:`repro.runtime.shards.ShardRunResult` of the last sharded
+        #: solve (``engine`` is a :class:`~repro.runtime.shards.ProcessEngine`)
+        self.last_shard_result = None
         #: graph failures absorbed by the serial fallback (DESIGN.md §11)
         self.degraded_runs = 0
 
@@ -109,7 +112,10 @@ class StokesletFMMSolver:
         scale = 1.0 / (8.0 * np.pi * self.kernel.viscosity)
 
         if self.engine is not None:
-            parts = self._solve_engine(tree, lists, f, pts)
+            if getattr(self.engine, "is_process", False):
+                parts = self._solve_shards(tree, lists, f)
+            else:
+                parts = self._solve_engine(tree, lists, f, pts)
             if parts is None:  # graph failed; serial fallback already counted
                 u = self._solve_serial(tree, lists, f, pts, scale)
             else:
@@ -159,6 +165,27 @@ class StokesletFMMSolver:
             self.kernel, tree, lists, f, potential=True, gradient=False
         )
         return out
+
+    # -------------------------------------------------- multi-process shards
+    def _solve_shards(self, tree, lists, f):
+        """Seven passes + vector near field on the shard backend.
+
+        Returns the same ``(phis, A, Bs, u_near)`` parts as the task-graph
+        path (bitwise identical to serial), or ``None`` after a shard
+        failure so the caller re-runs the exact serial sweep.
+        """
+        from repro.runtime.shards import ShardExecutionError
+
+        try:
+            parts = self.engine.solve_stokeslet(
+                tree, lists, self.expansion, self.kernel, f
+            )
+        except ShardExecutionError as exc:
+            self.last_shard_result = None
+            self._record_degraded(exc)
+            return None
+        self.last_shard_result = self.engine.last_result
+        return parts
 
     # ------------------------------------------------- concurrent task graph
     def _solve_engine(self, tree, lists, f, pts):

@@ -44,6 +44,7 @@ GATED_BENCHES: dict[str, tuple[str, str]] = {
     "far_field_50k_plummer": ("batched_ms", "lower"),
     "repair_vs_rebuild_50k_plummer": ("repair_ms_per_op", "lower"),
     "engine_step_50k_plummer": ("engine_ms", "lower"),
+    "shard_step_500k_plummer": ("shard_ms", "lower"),
 }
 
 #: default relative tolerance band (the ">15% slower fails" policy)

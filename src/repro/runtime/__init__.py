@@ -1,7 +1,9 @@
 """Task runtime: the simulated work-stealing scheduler (task DAG
-extraction + discrete-event simulation) and the *real* dependency-driven
+extraction + discrete-event simulation), the *real* dependency-driven
 thread-pool execution engine that runs the batched FMM pipeline
-concurrently (:mod:`repro.runtime.engine`, :mod:`repro.runtime.graphs`)."""
+concurrently (:mod:`repro.runtime.engine`, :mod:`repro.runtime.graphs`),
+and the sharded multi-process backend with shared-memory halo exchange
+(:mod:`repro.runtime.shards`)."""
 
 from repro.runtime.tasks import Task, TaskGraph, build_fmm_task_graph, build_treebuild_task_graph
 from repro.runtime.scheduler import CPUSpec, ScheduleResult, simulate_schedule
@@ -14,8 +16,18 @@ from repro.runtime.engine import (
     TaskNode,
     default_workers,
 )
+from repro.runtime.shards import (
+    ProcessEngine,
+    ShardExecutionError,
+    ShardRunResult,
+    default_shards,
+)
 
 __all__ = [
+    "ProcessEngine",
+    "ShardExecutionError",
+    "ShardRunResult",
+    "default_shards",
     "Task",
     "TaskGraph",
     "build_fmm_task_graph",

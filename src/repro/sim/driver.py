@@ -16,7 +16,7 @@ The per-step records feed Figs. 8–9 and Table II directly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -74,6 +74,11 @@ class SimulationConfig:
     #: let near-field tasks overlap the far-field sweep (the paper's
     #: ``max(T_CPU, T_GPU)`` semantics on real threads)
     overlap: bool = True
+    #: Morton-range shard worker *processes* for the numeric FMM solves
+    #: (``repro.runtime.shards.ProcessEngine``): ``None``/``1`` = off,
+    #: ``>1`` = shard the solve across that many spawned workers over
+    #: shared memory.  Mutually exclusive with ``n_workers > 1``.
+    n_shards: int | None = None
     #: opt-in NaN/Inf health checks + quarantine (DESIGN.md §11)
     guardrail: GuardrailConfig = field(default_factory=GuardrailConfig)
     #: write a checkpoint every K steps (None = disabled; must be > 0)
@@ -101,6 +106,16 @@ class SimulationConfig:
             raise ValueError(
                 f"n_workers must be >= 1 (use 1 for the exact serial path), "
                 f"got {self.n_workers}"
+            )
+        if self.n_shards is not None and self.n_shards < 1:
+            raise ValueError(
+                f"n_shards must be >= 1 (use 1 or None for single-process), "
+                f"got {self.n_shards}"
+            )
+        if (self.n_shards or 1) > 1 and (self.n_workers or 1) > 1:
+            raise ValueError(
+                "n_shards and n_workers are mutually exclusive parallel "
+                "backends; set one of them to 1 (or None)"
             )
         if self.checkpoint_every is not None and self.checkpoint_every < 1:
             raise ValueError(
@@ -169,15 +184,21 @@ class Simulation:
             initial_S=self.config.initial_S,
             mode=self.config.strategy,
         )
-        #: real thread-pool engine for the numeric solves (None when the
-        #: config resolves to 1 worker or forces are direct-summed)
-        self.engine: ExecutionEngine | None = None
+        #: real thread-pool engine or multi-process shard engine for the
+        #: numeric solves (None when the config resolves to 1 worker or
+        #: forces are direct-summed)
+        self.engine = None
         if self.config.forces == "fmm":
-            engine_config = EngineConfig(
-                n_workers=self.config.n_workers, overlap=self.config.overlap
-            )
-            if engine_config.parallel:
-                self.engine = ExecutionEngine(engine_config)
+            if (self.config.n_shards or 1) > 1:
+                from repro.runtime.shards import ProcessEngine
+
+                self.engine = ProcessEngine(n_shards=self.config.n_shards)
+            else:
+                engine_config = EngineConfig(
+                    n_workers=self.config.n_workers, overlap=self.config.overlap
+                )
+                if engine_config.parallel:
+                    self.engine = ExecutionEngine(engine_config)
         self.solver = (
             FMMSolver(
                 kernel,
@@ -198,6 +219,9 @@ class Simulation:
         self._closed = False
         #: critical-path report of the most recent engine run (telemetry on)
         self.last_critpath = None
+        #: :class:`repro.runtime.shards.ShardRunResult` of the most recent
+        #: sharded solve (multi-process runs only)
+        self.last_shard_result = None
         self._ledger_written = False
         #: run-level per-op totals (modeled CPU times), fed to the ledger
         self.op_timers = TimerRegistry()
@@ -245,6 +269,29 @@ class Simulation:
             res = self.solver.last_engine_result
             if res is not None:
                 self.last_critpath = critpath_analyze(res)
+        extra = {
+            "n_bodies": self.particles.n,
+            "n_steps": len(self.log),
+            "forces": self.config.forces,
+            "strategy": self.config.strategy,
+            "n_workers": self.config.n_workers,
+            "n_shards": self.config.n_shards,
+        }
+        eng = self.engine
+        if eng is not None and getattr(eng, "is_process", False):
+            last = self.last_shard_result
+            # enough to attribute shard idle time from the ledger alone:
+            # idle_seconds / (runs * n_shards) is the mean per-shard wait
+            extra["shards"] = {
+                "runs": eng.total_runs,
+                "halo_bytes": eng.total_halo_bytes,
+                "halo_seconds": round(eng.total_halo_seconds, 6),
+                "idle_seconds": round(eng.total_idle_seconds, 6),
+                "imbalance": round(last.imbalance, 4) if last else None,
+                "partition_imbalance": (
+                    round(last.partition_imbalance, 4) if last else None
+                ),
+            }
         record = RunRecord(
             bench="simulation",
             kind="run",
@@ -269,13 +316,7 @@ class Simulation:
                 else {}
             ),
             drift=tel.drift.summary() if tel.enabled else {},
-            extra={
-                "n_bodies": self.particles.n,
-                "n_steps": len(self.log),
-                "forces": self.config.forces,
-                "strategy": self.config.strategy,
-                "n_workers": self.config.n_workers,
-            },
+            extra=extra,
         )
         return RunLedger(target).append(record)
 
@@ -397,6 +438,29 @@ class Simulation:
                 )
                 acc_new = self._accelerations(tree, lists_after)
                 self.integrator.finish_step(self.particles.velocities, acc_new)
+
+            shard_res = None
+            if self.solver is not None:
+                shard_res = self.solver.last_shard_result
+                self.solver.last_shard_result = None
+            if shard_res is not None:
+                self.last_shard_result = shard_res
+                # feed the *observed* per-shard wall-clock back into the
+                # three-state controller: mean busy vs. makespan plays the
+                # role of the CPU/GPU pair, so the controller's gap metric
+                # is exactly the shard imbalance and a drifting partition
+                # triggers repartitioning the same way device drift does
+                timing = replace(
+                    timing,
+                    cpu_time=shard_res.mean_shard_busy,
+                    gpu_time=shard_res.max_shard_wall,
+                )
+                # the modeled-machine prediction is incommensurable with
+                # real shard seconds; recording it would poison the
+                # cost-model drift series with ~100% "residuals"
+                predicted = None
+                if self.telemetry.enabled:
+                    self._record_shard_telemetry(shard_res)
 
             with tracer.span("balancer", state=self.balancer.state.value):
                 outcome = self.balancer.end_of_step(tree, timing)
@@ -584,6 +648,36 @@ class Simulation:
             "busy-time / (makespan x workers) of the last engine run",
         ).set(res.utilization)
         self.executor.observe_real_registry(res.op_registry())
+
+    def _record_shard_telemetry(self, res) -> None:
+        """Export one sharded solve: per-shard Perfetto lanes (stage spans
+        stacked per worker process) plus halo-exchange traffic gauges —
+        the measured bytes next to the LET model's prediction."""
+        tel = self.telemetry
+        tel.tracer.add_worker_lanes(
+            res.timeline(),
+            pid=REAL_PID,
+            makespan=res.wall,
+            phase="shards",
+            lane_names={s: f"shard-{s}" for s in range(res.n_shards)},
+        )
+        tel.metrics.gauge(
+            "shard_halo_bytes",
+            "bytes actually gathered across shard boundaries in the last "
+            "sharded solve (multipole rows + boundary P2P bodies)",
+        ).set(res.halo_bytes)
+        tel.metrics.gauge(
+            "shard_halo_model_bytes",
+            "bytes the LET comm model predicts for the same exchange",
+        ).set(res.let_bytes)
+        tel.metrics.gauge(
+            "shard_halo_seconds",
+            "summed time shards spent in halo gathers in the last solve",
+        ).set(res.halo_seconds)
+        tel.metrics.gauge(
+            "shard_imbalance",
+            "max/mean shard busy time of the last sharded solve",
+        ).set(res.imbalance)
 
     # ------------------------------------------------------------- summaries
     def summary(self) -> dict[str, float]:

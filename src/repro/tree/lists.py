@@ -1030,6 +1030,15 @@ def repair_interaction_lists(
     tracker.update(changed_rows)
 
     lists.drop_structural_derived()
+    # accumulate every node whose row data (leafness, presence) may have
+    # changed since the far-field row cache last refreshed; repairs can
+    # stack between geometry builds, so this is a union the consumer
+    # clears when it re-derives rows (farfield._node_row_state)
+    acc = getattr(lists, "_repair_affected_nodes", None)
+    if acc is None:
+        acc = lists._repair_affected_nodes = set()
+    acc.update(a_set)
+    acc.update(removed)
     # structure generation this repair brought the lists up to; consumers
     # (far-field geometry, near-field plan) use it to count partial rebuilds
     lists.last_repair = {

@@ -228,9 +228,10 @@ class AdaptiveOctree:
         previously-empty octant of an internal node may become populated
         and needs a (leaf) child so the leaves keep partitioning the
         bodies.  Returns the newly created child ids.  ``record`` labels
-        the journal entry when the caller is a surgery op whose affected
-        neighbourhood covers the new children (pushdown reclaim); without
-        it the edit journals as ``dirty`` (refit-time coverage repair).
+        the journal entry when the caller knows the affected
+        neighbourhood covers the new children (pushdown reclaim, or a
+        ``("materialize", nid)`` refit coverage repair); without it the
+        edit journals as ``dirty`` and forces a full list rebuild.
         """
         node = self.nodes[nid]
         if node.children is None:
@@ -434,13 +435,18 @@ class AdaptiveOctree:
             node.lo = int(np.searchsorted(self.sorted_keys, node.key_lo, side="left"))
             node.hi = int(np.searchsorted(self.sorted_keys, node.key_hi, side="left"))
         # bodies may have drifted into octants that were empty (pruned) at
-        # build time; give every effective internal node full coverage
+        # build time; give every effective internal node full coverage.
+        # Each materialization journals as a replayable ("materialize",
+        # nid) record — the new children sit inside nid's cell, so the
+        # list-repair affected set derived from nid covers them and a
+        # small drift no longer forces a full interaction-list rebuild
+        # (large drifts still trip the journal/affected-set caps).
         for nid in self.effective_nodes():
             node = self.nodes[nid]
             if not node.is_leaf:
                 covered = sum(self.nodes[c].count for c in node.children or [])
                 if covered != node.count:
-                    self._materialize_missing_children(nid)
+                    self._materialize_missing_children(nid, record=("materialize", nid))
 
     # ------------------------------------------------------------ statistics
     def leaf_counts(self) -> np.ndarray:

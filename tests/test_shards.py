@@ -1,0 +1,253 @@
+"""Sharded multi-process FMM backend: determinism, halo exchange, failure.
+
+The core property (ISSUE 8): the union of per-shard LET-evaluated results
+is **element-wise identical** to the single-process solver — at any shard
+count, for both kernels, folded and unfolded.  The backend earns this by
+construction (whole-class matmuls assigned to single shards, row-owner
+merges replayed in the serial class order; see DESIGN.md §14), and these
+tests assert it bit for bit with ``np.array_equal`` on raw float arrays.
+
+Also covered: the LET actually names every remote multipole a shard
+consumes, shard sessions survive strength swaps and refit-only geometry
+refreshes, a killed worker degrades to exact serial re-execution, and the
+driver-level config guards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import plummer
+from repro.expansions.cartesian import CartesianExpansion
+from repro.expansions.spherical import SphericalExpansion
+from repro.fmm.evaluator import FMMSolver
+from repro.kernels.laplace import GravityKernel
+from repro.kernels.stokeslet import RegularizedStokesletKernel
+from repro.kernels.stokeslet_fmm import StokesletFMMSolver
+from repro.runtime.shards import (
+    ProcessEngine,
+    ShardExecutionError,
+    default_shards,
+)
+from repro.tree.octree import AdaptiveOctree
+
+
+def _cloud(n=1500, seed=11):
+    pts = plummer(n, seed=seed).positions
+    rng = np.random.default_rng(seed + 1)
+    q = rng.standard_normal(n)
+    return pts, q
+
+
+def _solve(kernel, tree, q, *, folded, engine=None, order=3, expansion=None):
+    solver = FMMSolver(
+        kernel, order=order, expansion=expansion, folded=folded, engine=engine
+    )
+    res = solver.solve(tree, q, gradient=True)
+    return solver, res
+
+
+# ----------------------------------------------------------- bitwise identity
+@pytest.mark.parametrize("n_shards", [1, 2, 4])
+def test_laplace_bitwise_identical_to_serial(n_shards):
+    """Union of shard results == serial solve, element-wise, any shard count."""
+    pts, q = _cloud()
+    kernel = GravityKernel(G=1.0, softening=1e-3)
+    tree = AdaptiveOctree(pts, S=24)
+    with ProcessEngine(n_shards=n_shards) as eng:
+        for folded in (True, False):
+            _, serial = _solve(kernel, tree, q, folded=folded)
+            solver, sharded = _solve(kernel, tree, q, folded=folded, engine=eng)
+            assert np.array_equal(serial.potential, sharded.potential)
+            assert np.array_equal(serial.gradient, sharded.gradient)
+            assert solver.degraded_runs == 0
+            assert solver.last_shard_result is not None
+            assert solver.last_shard_result.n_shards == n_shards
+
+
+def test_laplace_spherical_backend_bitwise():
+    pts, q = _cloud(n=1200, seed=19)
+    kernel = GravityKernel(G=1.0, softening=1e-3)
+    tree = AdaptiveOctree(pts, S=20)
+    exp = SphericalExpansion(4)
+    with ProcessEngine(n_shards=3) as eng:
+        _, serial = _solve(kernel, tree, q, folded=True, expansion=exp)
+        _, sharded = _solve(kernel, tree, q, folded=True, expansion=exp, engine=eng)
+    assert np.array_equal(serial.potential, sharded.potential)
+    assert np.array_equal(serial.gradient, sharded.gradient)
+
+
+@pytest.mark.parametrize("folded", [True, False])
+def test_stokeslet_bitwise_identical_to_serial(folded):
+    pts, _ = _cloud(n=1000, seed=23)
+    rng = np.random.default_rng(5)
+    f = rng.standard_normal((1000, 3))
+    kernel = RegularizedStokesletKernel(epsilon=0.02)
+    tree = AdaptiveOctree(pts, S=24)
+    serial = StokesletFMMSolver(kernel, order=3, folded=folded).solve(tree, f)
+    with ProcessEngine(n_shards=2) as eng:
+        solver = StokesletFMMSolver(kernel, order=3, folded=folded, engine=eng)
+        sharded = solver.solve(tree, f)
+    assert np.array_equal(serial.velocity, sharded.velocity)
+    assert solver.degraded_runs == 0
+    assert solver.last_shard_result is not None
+
+
+# ------------------------------------------------------- session reuse/refresh
+def test_session_reuse_and_refit_refresh():
+    """Strength swaps hit the installed session; a refit refreshes it in
+    place (no re-pickle of the plan) — both stay bitwise identical."""
+    pts, q = _cloud(n=1400, seed=29)
+    kernel = GravityKernel(G=1.0, softening=1e-3)
+    tree = AdaptiveOctree(pts, S=24)
+    with ProcessEngine(n_shards=2) as eng:
+        solver = FMMSolver(kernel, order=3, folded=True, engine=eng)
+        ref = FMMSolver(kernel, order=3, folded=True)
+
+        r1 = solver.solve(tree, q, gradient=True)
+        assert np.array_equal(ref.solve(tree, q, gradient=True).potential, r1.potential)
+
+        # same tree, new strengths: the session is a cache hit
+        q2 = q[::-1].copy()
+        r2 = solver.solve(tree, q2, gradient=True, lists=r1.lists)
+        assert np.array_equal(
+            ref.solve(tree, q2, gradient=True, lists=r1.lists).potential,
+            r2.potential,
+        )
+
+        # moved bodies + refit: same shape, new geometry -> in-place refresh
+        tree.points = tree.points * 0.999
+        tree.refit()
+        lists = solver.list_cache.get(tree, folded=True)
+        r3 = solver.solve(tree, q, gradient=True, lists=lists)
+        s3 = ref.solve(tree, q, gradient=True, lists=lists)
+        assert np.array_equal(s3.potential, r3.potential)
+        assert np.array_equal(s3.gradient, r3.gradient)
+        assert solver.degraded_runs == 0
+
+
+# -------------------------------------------------------------- LET coverage
+def test_let_names_every_remote_multipole_and_body():
+    """Every cross-shard V sender / near source appears in the consumer's
+    LET — the halo exchange the workers perform is exactly what the comm
+    model charges for."""
+    from repro.cluster.let import build_let
+    from repro.cluster.partition import partition_by_morton_work
+    from repro.tree.cache import ListCache
+
+    pts, _ = _cloud(n=1600, seed=31)
+    tree = AdaptiveOctree(pts, S=24)
+    lists = ListCache().get(tree, folded=True)
+    part = partition_by_morton_work(tree, lists, 3, order=3)
+    let = build_let(part, n_coeffs=CartesianExpansion(3).n_coeffs)
+
+    for t, vs in lists.v_list.items():
+        r = part.node_rank(t)
+        for v in vs:
+            ro = part.node_rank(v)
+            if ro != r:
+                assert (ro, v) in let.remote_multipoles[r]
+    for t, sources in lists.near_sources.items():
+        r = part.node_rank(t)
+        for s in sources:
+            ro = part.node_rank(s)
+            if ro != r:
+                assert (ro, s) in let.remote_bodies[r]
+
+
+# ---------------------------------------------------------- failure handling
+def test_worker_death_degrades_to_exact_serial():
+    """Killing a worker mid-session aborts the barrier, tears the pool
+    down, and the solver re-runs serially — same answer, counted once."""
+    pts, q = _cloud(n=1200, seed=37)
+    kernel = GravityKernel(G=1.0, softening=1e-3)
+    tree = AdaptiveOctree(pts, S=24)
+    serial = FMMSolver(kernel, order=3, folded=True).solve(tree, q, gradient=True)
+    with ProcessEngine(n_shards=2, timeout_s=60.0) as eng:
+        solver = FMMSolver(kernel, order=3, folded=True, engine=eng)
+        first = solver.solve(tree, q, gradient=True)
+        assert np.array_equal(serial.potential, first.potential)
+
+        eng._procs[0].terminate()
+        eng._procs[0].join(timeout=10.0)
+        degraded = solver.solve(tree, q, gradient=True)
+        assert np.array_equal(serial.potential, degraded.potential)
+        assert np.array_equal(serial.gradient, degraded.gradient)
+        assert solver.degraded_runs == 1
+        assert solver.last_shard_result is None
+
+        # the pool respawns lazily and the backend recovers
+        again = solver.solve(tree, q, gradient=True)
+        assert np.array_equal(serial.potential, again.potential)
+        assert solver.degraded_runs == 1
+        assert solver.last_shard_result is not None
+
+
+# ------------------------------------------------------------- result surface
+def test_shard_result_reports_halo_and_idle():
+    pts, q = _cloud(n=1400, seed=41)
+    kernel = GravityKernel(G=1.0, softening=1e-3)
+    tree = AdaptiveOctree(pts, S=24)
+    with ProcessEngine(n_shards=2) as eng:
+        solver = FMMSolver(kernel, order=3, folded=True, engine=eng)
+        solver.solve(tree, q, gradient=True)
+        res = solver.last_shard_result
+        assert eng.total_runs == 1
+        assert eng.total_halo_bytes == res.halo_bytes
+
+    assert res.n_shards == 2
+    assert len(res.shard_walls) == 2 and len(res.shard_busy) == 2
+    assert res.halo_bytes > 0  # 2 shards on a Plummer ball must exchange
+    assert res.let_bytes > 0
+    assert res.imbalance >= 1.0
+    assert res.partition_imbalance >= 1.0
+    assert res.max_shard_wall >= max(res.shard_busy)
+
+    d = res.to_dict()
+    for key in (
+        "n_shards", "wall_s", "shard_walls_s", "imbalance", "halo_bytes",
+        "halo_s", "let_bytes", "partition_imbalance",
+    ):
+        assert key in d
+    rows = res.timeline()
+    assert rows and all(len(r) == 4 for r in rows)
+    assert {r[1] for r in rows} == {0, 1}
+    text = res.to_text()
+    assert "shard 0" in text and "halo" in text
+
+
+def test_engine_usable_after_close():
+    pts, q = _cloud(n=900, seed=43)
+    kernel = GravityKernel(G=1.0, softening=1e-3)
+    tree = AdaptiveOctree(pts, S=24)
+    eng = ProcessEngine(n_shards=2)
+    solver = FMMSolver(kernel, order=3, folded=True, engine=eng)
+    r1 = solver.solve(tree, q)
+    eng.close()
+    assert not eng._procs
+    r2 = solver.solve(tree, q)  # respawns the pool
+    assert np.array_equal(r1.potential, r2.potential)
+    eng.close()
+    eng.close()  # idempotent
+
+
+# ------------------------------------------------------------- config guards
+def test_process_engine_validation():
+    with pytest.raises(ValueError):
+        ProcessEngine(n_shards=0)
+    assert default_shards() >= 1
+    eng = ProcessEngine(n_shards=2)
+    assert eng.n_workers == 2 and eng.parallel and eng.is_process
+    eng.close()
+
+
+def test_simulation_config_shard_guards():
+    from repro.sim.driver import SimulationConfig
+
+    with pytest.raises(ValueError):
+        SimulationConfig(n_shards=0)
+    with pytest.raises(ValueError):
+        SimulationConfig(n_shards=2, n_workers=2)
+    SimulationConfig(n_shards=2, n_workers=1)  # fine
+    SimulationConfig(n_shards=None, n_workers=4)  # fine
