@@ -15,6 +15,7 @@ Usage::
     python -m repro trace --forces fmm --resume ckpt --steps 10
     python -m repro report --n 50000 --workers 4
     python -m repro regress [--ledger RUNS.jsonl] [--window 5] [--rel-tol 0.15]
+    python -m repro serve --port 7421 --pool 2 --max-tenants 8 --shed-budget 60
 
 Options are forwarded as keyword arguments to the experiment's ``run``;
 integers and floats are parsed automatically.  ``--checkpoint-every K``
@@ -39,6 +40,14 @@ from repro.experiments import (
     table1_gpu_scaling,
 )
 from repro.obs import run as obs_run
+
+
+def _serve_main(**kwargs) -> None:
+    # imported lazily so `python -m repro list` stays cheap
+    from repro.serve.server import main as serve_main
+
+    serve_main(**kwargs)
+
 
 COMMANDS = {
     "fig3": ("Fig. 3 — adaptive CPU/GPU cost vs S", fig3_adaptive_cost.main),
@@ -66,6 +75,10 @@ COMMANDS = {
     "regress": (
         "Perf gate — check the run ledger for hot-path regressions",
         obs_run.regress_main,
+    ),
+    "serve": (
+        "Job server — multi-tenant asyncio front end over warm engines",
+        _serve_main,
     ),
 }
 

@@ -237,7 +237,11 @@ class FMMSolver:
         # imported here: repro.fmm / repro.runtime package inits would cycle
         from repro.fmm.farfield import FarFieldPass
         from repro.fmm.nearfield import NearFieldPass
-        from repro.runtime.engine import GraphExecutionError, TaskGraphBuilder
+        from repro.runtime.engine import (
+            GraphDeadlineError,
+            GraphExecutionError,
+            TaskGraphBuilder,
+        )
         from repro.runtime.graphs import add_far_field_tasks, add_near_field_tasks
 
         far = FarFieldPass(
@@ -261,6 +265,13 @@ class FMMSolver:
             self.last_engine_result = self.engine.run(g)
         except GraphExecutionError as exc:
             self.last_engine_result = None
+            if isinstance(exc, GraphDeadlineError) and getattr(
+                self.engine.config, "deadline_fatal", False
+            ):
+                # a per-request deadline (serve subsystem) means "give up
+                # now" — degrading to a serial re-run would blow straight
+                # through the budget the caller asked us to honour
+                raise
             self._record_degraded(exc, "laplace")
             far_pot, far_grad = self._far_field(
                 tree, lists, q, want_gradient, want_potential

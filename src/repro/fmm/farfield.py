@@ -41,6 +41,7 @@ conventions of :meth:`InteractionLists.op_counts`, keeping
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -48,9 +49,11 @@ from repro.tree.lists import InteractionLists
 from repro.tree.octree import AdaptiveOctree
 
 __all__ = [
+    "DictOperatorCache",
     "FarFieldGeometry",
     "FarFieldPass",
     "LeafBodyPlan",
+    "OperatorCacheProtocol",
     "far_field_geometry",
     "laplace_far_field",
 ]
@@ -186,7 +189,59 @@ def _cache_stats(lists: InteractionLists, attr: str, *extra: str) -> dict[str, i
     return stats
 
 
-def _operator_cache(lists: InteractionLists) -> dict:
+@runtime_checkable
+class OperatorCacheProtocol(Protocol):
+    """Store of dense translation operators keyed by quantized geometry.
+
+    Keys are tuples of discrete data — ``(backend, order, kind,
+    class_key)`` — optionally prefixed with a *scope* by the installer
+    (see :meth:`repro.tree.cache.ListCache.share_operator_cache`): octree
+    geometry classes are exact functions of those integers plus the root
+    cell size, so any two trees agreeing on the key need the same dense
+    operator.  Implementations must tolerate concurrent ``get``/``put``
+    when shared across threads, and may evict (a ``get`` after eviction
+    simply returns ``None`` and the caller rebuilds).  ``evictions`` is
+    the cumulative eviction count, surfaced uniformly as
+    ``farfield_geometry_stats["op_evictions"]``.
+    """
+
+    def get(self, key: tuple) -> Any | None: ...
+
+    def put(self, key: tuple, op: Any) -> None: ...
+
+    @property
+    def evictions(self) -> int: ...
+
+
+class DictOperatorCache:
+    """The default per-lists operator store: unbounded, never evicts.
+
+    One instance hangs off each :class:`InteractionLists` (surviving
+    repair, see :func:`_operator_cache`); the serve subsystem swaps in a
+    process-global LRU (:class:`repro.serve.opcache.SharedOperatorCache`)
+    through the same :class:`OperatorCacheProtocol` seam.
+    """
+
+    __slots__ = ("_store",)
+
+    def __init__(self) -> None:
+        self._store: dict = {}
+
+    def get(self, key: tuple) -> Any | None:
+        return self._store.get(key)
+
+    def put(self, key: tuple, op: Any) -> None:
+        self._store[key] = op
+
+    @property
+    def evictions(self) -> int:
+        return 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+def _operator_cache(lists: InteractionLists) -> OperatorCacheProtocol:
     """Per-lists translation-operator store keyed by *quantized* geometry.
 
     Octree geometry classes are exact functions of discrete data — a
@@ -198,10 +253,14 @@ def _operator_cache(lists: InteractionLists) -> dict:
     :func:`far_field_geometry` build then re-derives only the *rows* and
     fetches every operator whose class already existed — a **partial**
     rebuild whose cost excludes the dominant operator-assembly term.
+
+    A pre-installed cache (``lists.farfield_op_cache``, e.g. a scoped
+    view of the serve subsystem's shared LRU) is honoured as-is; the
+    default is a fresh :class:`DictOperatorCache`.
     """
     cache = getattr(lists, "farfield_op_cache", None)
     if cache is None:
-        cache = {}
+        cache = DictOperatorCache()
         lists.farfield_op_cache = cache
     return cache
 
@@ -265,6 +324,7 @@ def far_field_geometry(
         "partial_rebuilds",
         "op_hits",
         "op_builds",
+        "op_evictions",
         "rows_rederived",
     )
     if cached is not None:
@@ -282,7 +342,8 @@ def far_field_geometry(
         k = (expansion.backend, expansion.order, kind, class_key)
         op = op_cache.get(k)
         if op is None:
-            op = op_cache[k] = build()
+            op = build()
+            op_cache.put(k, op)
             stats["op_builds"] += 1
         else:
             stats["op_hits"] += 1
@@ -366,6 +427,10 @@ def far_field_geometry(
 
     w_tgt_ids, w_src_ids = _flatten_pair_dict(lists.w_list)
     x_recv_ids, x_src_ids = _flatten_pair_dict(lists.x_list)
+
+    # cumulative for the installed cache: 0 for the per-lists dict store,
+    # the LRU's running total when a shared serve cache is plugged in
+    stats["op_evictions"] = int(op_cache.evictions)
 
     return store(
         FarFieldGeometry(

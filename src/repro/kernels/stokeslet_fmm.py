@@ -205,7 +205,11 @@ class StokesletFMMSolver:
         # imported here: repro.kernels / repro.runtime package inits would cycle
         from repro.fmm.farfield import FarFieldPass
         from repro.fmm.nearfield import NearFieldPass
-        from repro.runtime.engine import GraphExecutionError, TaskGraphBuilder
+        from repro.runtime.engine import (
+            GraphDeadlineError,
+            GraphExecutionError,
+            TaskGraphBuilder,
+        )
         from repro.runtime.graphs import add_far_field_tasks, add_near_field_tasks
 
         mk = lambda **kw: FarFieldPass(tree, lists, self.expansion, **kw)
@@ -233,6 +237,12 @@ class StokesletFMMSolver:
             self.last_engine_result = self.engine.run(g)
         except GraphExecutionError as exc:
             self.last_engine_result = None
+            if isinstance(exc, GraphDeadlineError) and getattr(
+                self.engine.config, "deadline_fatal", False
+            ):
+                # per-request deadline (serve subsystem): surface, don't
+                # silently re-run the seven passes serially
+                raise
             self._record_degraded(exc)
             return None
         u_near, _ = near.result()

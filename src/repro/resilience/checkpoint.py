@@ -56,7 +56,14 @@ CHECKPOINT_VERSION = 1
 
 #: config fields that do not affect the trajectory (execution-only knobs)
 _EXECUTION_FIELDS = frozenset(
-    {"n_workers", "overlap", "checkpoint_every", "checkpoint_path", "ledger_path"}
+    {
+        "n_workers",
+        "overlap",
+        "checkpoint_every",
+        "checkpoint_path",
+        "ledger_path",
+        "deadline_s",
+    }
 )
 
 

@@ -182,6 +182,11 @@ class EngineConfig:
     and the near-field tasks instead of letting them interleave.
     ``retry`` bounds re-execution of idempotent tasks; ``deadline_s``
     aborts any single graph that runs longer (None = no deadline).
+    ``deadline_fatal`` marks a deadline abort as *final*: solvers
+    normally absorb :class:`GraphDeadlineError` by degrading to the
+    exact serial re-execution path (DESIGN.md §11), but a per-request
+    deadline from the serve subsystem means "give up now" — the error
+    must surface to the caller instead of silently re-running serially.
     """
 
     n_workers: int | None = None
@@ -191,6 +196,8 @@ class EngineConfig:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
 
     deadline_s: float | None = None
+
+    deadline_fatal: bool = False
 
     def __post_init__(self) -> None:
         if self.deadline_s is not None and self.deadline_s <= 0.0:

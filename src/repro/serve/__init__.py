@@ -1,0 +1,40 @@
+"""Simulation-as-a-service: the ``python -m repro serve`` subsystem.
+
+An asyncio front end multiplexing many tenants' solve requests onto a
+bounded pool of warm engines, with three load-bearing guarantees:
+
+* **fairness** — per-tenant FIFO queues dispatched round-robin
+  (:mod:`repro.serve.scheduler`), per-request deadlines wired down to
+  ``EngineConfig.deadline_s``;
+* **warmth** — one process-global geometry-class operator cache shared
+  across tenants (:mod:`repro.serve.opcache`), making warm solves
+  several times cheaper than cold ones while staying bitwise identical
+  to direct runs;
+* **honesty under load** — cost-model admission control sheds work with
+  a structured 429 before it queues (§IV-D prediction), instead of
+  letting latency collapse for everyone.
+
+See DESIGN.md §15 and the README "Serving" quickstart.
+"""
+
+from repro.serve.client import BackgroundServer, ServeClient
+from repro.serve.opcache import SharedOperatorCache
+from repro.serve.protocol import ProtocolError, ServeError, SolveSpec
+from repro.serve.scheduler import CostModelGovernor, FairScheduler, estimate_op_counts
+from repro.serve.server import JobServer, ServeConfig, main, solve_direct
+
+__all__ = [
+    "BackgroundServer",
+    "CostModelGovernor",
+    "FairScheduler",
+    "JobServer",
+    "ProtocolError",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "SharedOperatorCache",
+    "SolveSpec",
+    "estimate_op_counts",
+    "main",
+    "solve_direct",
+]

@@ -1,0 +1,366 @@
+"""Fair multi-tenant scheduling and cost-model admission control.
+
+Two cooperating pieces:
+
+:class:`CostModelGovernor` prices a request *before* running it, using
+the paper's §IV-D prediction (``predict_times`` over per-operation
+counts and observed coefficients).  Counts come from an analytic
+uniform-tree surrogate — the server must price work it has not built a
+tree for — and coefficients are re-observed from every served solve, so
+the estimate tracks the machine it is actually running on.
+
+:class:`FairScheduler` holds one FIFO deque per tenant and dispatches
+round-robin across tenants onto a bounded thread pool of warm engines,
+so a tenant streaming hundreds of requests cannot starve a tenant
+sending one.  Admission control happens at submit time, on the asyncio
+loop, before anything is queued:
+
+* a new tenant beyond ``max_tenants`` -> 429 ``tenant-limit``;
+* predicted seconds of queued + in-flight work past ``shed_budget_s``
+  -> 429 ``shed`` with the prediction in the error details, so clients
+  can back off intelligently instead of guessing.
+
+Requests carry per-request deadlines end to end: a job that exhausts its
+deadline while still queued fails fast with a structured 408 (never
+dispatched), and a dispatched job hands its *remaining* budget to the
+engine (``EngineConfig.deadline_s`` + ``deadline_fatal``), whose expiry
+also surfaces as 408 — without poisoning the pool, because each request
+runs on fresh solver state and only the operator cache is shared.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import threading
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.costmodel.coefficients import ObservedCoefficients
+from repro.costmodel.predictor import predict_times
+from repro.serve.protocol import ServeError, SolveSpec
+from repro.util.timing import TimerRegistry
+
+__all__ = ["CostModelGovernor", "FairScheduler", "Job", "estimate_op_counts"]
+
+_CPU_OPS = ("P2M", "M2M", "M2L", "L2L", "L2P", "M2P", "P2L")
+
+#: optimistic per-application prior (seconds) used before any solve has
+#: been observed — deliberately low so a cold server admits work and
+#: learns real coefficients from it
+_PRIOR_COEFF_S = 2e-7
+
+
+def estimate_op_counts(n: int, order: int, leaf_size: int = 32) -> dict[str, int]:
+    """Analytic op counts for a uniform octree over ``n`` bodies.
+
+    The serve admission path needs counts *before* any tree exists, so
+    this models the uniform-refinement limit: leaves of ~``leaf_size``
+    bodies, one M2M/L2L application per parent-child shift, ~27 V-list
+    partners per node under the folded scheme, and a 27-neighbour dense
+    near field.  It is a surrogate, not a census — the governor's
+    feedback loop (observed seconds / estimated counts) absorbs the
+    constant-factor error, and ``order`` enters through the observed
+    per-application coefficients rather than the counts.
+    """
+    n = max(1, int(n))
+    depth = max(0, math.ceil(math.log(max(1.0, n / leaf_size), 8)))
+    n_leaves = 8**depth
+    n_internal = (n_leaves - 1) // 7
+    n_nodes = n_leaves + n_internal
+    n_shifts = 8 * n_internal
+    return {
+        "P2M": n,
+        "M2M": n_shifts,
+        "M2L": 27 * n_nodes,
+        "L2L": n_shifts,
+        "L2P": n,
+        "M2P": 0,  # folded scheme: W/X work is folded into M2L/P2P
+        "P2L": 0,
+        "P2P": 27 * n * min(n, leaf_size),
+    }
+
+
+def _solve_multiplier(spec: SolveSpec) -> float:
+    """How many scalar far-field sweeps one request amounts to."""
+    passes = 7.0 if spec.kernel == "stokeslet" else 1.0
+    return passes * max(1, int(spec.steps))
+
+
+class CostModelGovernor:
+    """Prices requests with §IV-D and re-observes coefficients per solve.
+
+    Thread-safe: ``predict`` runs on the asyncio loop thread while
+    ``observe`` runs on pool worker threads as solves finish.
+    """
+
+    def __init__(self, smoothing: float = 0.3) -> None:
+        self.coeffs = ObservedCoefficients(smoothing=smoothing)
+        self._lock = threading.Lock()
+
+    def predict(self, spec: SolveSpec) -> float:
+        """Predicted ComputeTime (seconds) for one request."""
+        counts = estimate_op_counts(spec.n, spec.order)
+        mult = _solve_multiplier(spec)
+        with self._lock:
+            if not self.coeffs.ready:
+                total = sum(counts.values())
+                return total * _PRIOR_COEFF_S * mult
+            t = predict_times(counts, self.coeffs)
+        return t.compute_time * mult
+
+    def observe(self, spec: SolveSpec, wall_s: float) -> None:
+        """Fold one served solve's measured wall time into the store.
+
+        The server has no per-op timers for a whole request, so the wall
+        time is attributed uniformly per application across the surrogate
+        counts; what matters is that predicted seconds for a repeat of
+        the same request converge on observed seconds.
+        """
+        if wall_s <= 0:
+            return
+        counts = estimate_op_counts(spec.n, spec.order)
+        mult = _solve_multiplier(spec)
+        total = float(sum(counts.values())) * mult
+        if total <= 0:
+            return
+        per_app = wall_s / total
+        registry = TimerRegistry()
+        for op in _CPU_OPS:
+            apps = int(counts[op] * mult)
+            if apps:
+                registry.add(op, per_app * apps, apps)
+        with self._lock:
+            self.coeffs.update_from_registry(registry, per_app)
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "ready": self.coeffs.ready,
+                "steps_observed": self.coeffs.steps_observed,
+                "coefficients": self.coeffs.as_dict(),
+            }
+
+
+@dataclass
+class Job:
+    """One admitted solve request, queued or in flight."""
+
+    tenant: str
+    spec: SolveSpec
+    predicted_s: float
+    future: asyncio.Future
+    enqueued_at: float = field(default_factory=time.monotonic)
+    started_at: float | None = None
+
+    def remaining_deadline(self) -> float | None:
+        """Deadline budget left after queue wait (``None`` = no deadline)."""
+        if self.spec.deadline_s is None:
+            return None
+        return self.spec.deadline_s - (time.monotonic() - self.enqueued_at)
+
+
+class FairScheduler:
+    """Round-robin tenant queues feeding a bounded warm-engine pool.
+
+    ``run_job(job) -> result`` is supplied by the server and executes on
+    a pool thread; everything else here runs on the asyncio loop, so the
+    queue structures need no locks.
+    """
+
+    def __init__(
+        self,
+        run_job: Callable[[Job], Any],
+        *,
+        pool_size: int = 2,
+        max_tenants: int = 8,
+        shed_budget_s: float = 60.0,
+    ) -> None:
+        if pool_size < 1:
+            raise ValueError(f"pool_size must be >= 1, got {pool_size}")
+        if max_tenants < 1:
+            raise ValueError(f"max_tenants must be >= 1, got {max_tenants}")
+        if shed_budget_s <= 0:
+            raise ValueError(f"shed_budget_s must be positive, got {shed_budget_s}")
+        self._run_job = run_job
+        self.pool_size = pool_size
+        self.max_tenants = max_tenants
+        self.shed_budget_s = shed_budget_s
+        self.governor = CostModelGovernor()
+
+        # tenant -> FIFO of queued jobs; OrderedDict gives stable
+        # round-robin order (insertion order of first appearance)
+        self._queues: OrderedDict[str, deque[Job]] = OrderedDict()
+        self._inflight: dict[str, int] = {}  # tenant -> running job count
+        self._queued_cost_s = 0.0  # predicted seconds queued + in flight
+        self._wakeup: asyncio.Event | None = None
+        self._closed = False
+        self._dispatcher: asyncio.Task | None = None
+        self._run_tasks: set[asyncio.Task] = set()
+        self._executor = ThreadPoolExecutor(
+            max_workers=pool_size, thread_name_prefix="repro-serve"
+        )
+        self._slots: asyncio.Semaphore | None = None
+
+        # counters surfaced by status/metrics
+        self.served_total = 0
+        self.failed_total = 0
+        self.shed_total = 0
+        self.deadline_total = 0
+
+    # ---------------------------------------------------------------- state
+    def queue_depth(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def active_tenants(self) -> int:
+        tenants = set(self._inflight)
+        tenants.update(t for t, q in self._queues.items() if q)
+        return len(tenants)
+
+    def queued_cost_s(self) -> float:
+        return self._queued_cost_s
+
+    # --------------------------------------------------------------- submit
+    def submit(self, tenant: str, spec: SolveSpec) -> asyncio.Future:
+        """Admit one request or raise a structured :class:`ServeError`.
+
+        Must be called on the scheduler's asyncio loop.
+        """
+        if self._closed:
+            raise ServeError(503, "shutdown", "server is shutting down")
+        loop = asyncio.get_running_loop()
+        if self._wakeup is None:
+            self._wakeup = asyncio.Event()
+            self._slots = asyncio.Semaphore(self.pool_size)
+            self._dispatcher = loop.create_task(self._dispatch_loop())
+
+        is_new_tenant = tenant not in self._queues and tenant not in self._inflight
+        if is_new_tenant and self.active_tenants() >= self.max_tenants:
+            raise ServeError(
+                429,
+                "tenant-limit",
+                f"server already tracks {self.max_tenants} active tenants",
+                details={"max_tenants": self.max_tenants},
+            )
+        predicted = self.governor.predict(spec)
+        if self._queued_cost_s + predicted > self.shed_budget_s:
+            self.shed_total += 1
+            raise ServeError(
+                429,
+                "shed",
+                "predicted backlog exceeds the admission budget — retry later",
+                details={
+                    "predicted_s": predicted,
+                    "queued_s": self._queued_cost_s,
+                    "budget_s": self.shed_budget_s,
+                },
+            )
+
+        job = Job(tenant=tenant, spec=spec, predicted_s=predicted,
+                  future=loop.create_future())
+        self._queues.setdefault(tenant, deque()).append(job)
+        self._queued_cost_s += predicted
+        self._wakeup.set()
+        return job.future
+
+    # ------------------------------------------------------------- dispatch
+    def _next_job(self) -> Job | None:
+        """Pop one job, round-robin across tenants with queued work."""
+        for tenant in list(self._queues):
+            q = self._queues[tenant]
+            if not q:
+                del self._queues[tenant]
+                continue
+            job = q.popleft()
+            # rotate: this tenant goes to the back of the scan order
+            self._queues.move_to_end(tenant)
+            if not q:
+                del self._queues[tenant]
+            return job
+        return None
+
+    async def _dispatch_loop(self) -> None:
+        assert self._wakeup is not None and self._slots is not None
+        while not self._closed:
+            job = self._next_job()
+            if job is None:
+                self._wakeup.clear()
+                await self._wakeup.wait()
+                continue
+            await self._slots.acquire()
+            task = asyncio.get_running_loop().create_task(self._run_one(job))
+            self._run_tasks.add(task)
+            task.add_done_callback(self._run_tasks.discard)
+
+    async def _run_one(self, job: Job) -> None:
+        assert self._slots is not None
+        loop = asyncio.get_running_loop()
+        try:
+            remaining = job.remaining_deadline()
+            if remaining is not None and remaining <= 0:
+                self.deadline_total += 1
+                raise ServeError(
+                    408,
+                    "deadline",
+                    "request deadline expired while queued",
+                    details={
+                        "deadline_s": job.spec.deadline_s,
+                        "queued_s": time.monotonic() - job.enqueued_at,
+                    },
+                )
+            job.started_at = time.monotonic()
+            self._inflight[job.tenant] = self._inflight.get(job.tenant, 0) + 1
+            try:
+                result = await loop.run_in_executor(
+                    self._executor, self._run_job, job
+                )
+            finally:
+                left = self._inflight.get(job.tenant, 1) - 1
+                if left > 0:
+                    self._inflight[job.tenant] = left
+                else:
+                    self._inflight.pop(job.tenant, None)
+            self.governor.observe(job.spec, time.monotonic() - job.started_at)
+            self.served_total += 1
+            if not job.future.done():
+                job.future.set_result(result)
+        except ServeError as exc:
+            if exc.kind == "deadline":
+                self.deadline_total += 1
+            self.failed_total += 1
+            if not job.future.done():
+                job.future.set_exception(exc)
+        except BaseException as exc:  # noqa: BLE001 — wrap as structured 500
+            self.failed_total += 1
+            if not job.future.done():
+                job.future.set_exception(
+                    ServeError(500, "internal", f"{type(exc).__name__}: {exc}")
+                )
+        finally:
+            self._queued_cost_s = max(0.0, self._queued_cost_s - job.predicted_s)
+            self._slots.release()
+
+    # ---------------------------------------------------------------- close
+    async def close(self) -> None:
+        """Reject queued work with 503, wait out in-flight solves, stop."""
+        self._closed = True
+        while (job := self._next_job()) is not None:
+            self._queued_cost_s = max(0.0, self._queued_cost_s - job.predicted_s)
+            if not job.future.done():
+                job.future.set_exception(
+                    ServeError(503, "shutdown", "server is shutting down")
+                )
+        if self._wakeup is not None:
+            self._wakeup.set()  # let the dispatcher observe _closed and exit
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+        if self._run_tasks:
+            await asyncio.gather(*list(self._run_tasks), return_exceptions=True)
+        self._executor.shutdown(wait=True)

@@ -1,0 +1,544 @@
+"""The asyncio job server: ``python -m repro serve``.
+
+One process hosts a bounded pool of warm solve workers behind a
+JSON-lines TCP front end (plus an in-process path for tests).  Incoming
+``solve``/``trace`` requests are admitted by the cost-model governor,
+queued per tenant, dispatched round-robin, and executed on pool threads
+— each request on fresh solver state, all requests sharing one
+process-global :class:`~repro.serve.opcache.SharedOperatorCache`, which
+is what makes a warm solve several times cheaper than a cold one while
+keeping results *bitwise identical* to a direct
+:class:`~repro.sim.driver.Simulation`/solver run (operator reuse changes
+where operators come from, never their values).
+
+Observability: every request runs under a ``serve-request`` tracer
+span, headline gauges/counters export through the Prometheus-style
+registry (queue depth, active tenants, shed/deadline totals, opcache
+bytes), and every served solve appends one flight-recorder
+:class:`~repro.obs.ledger.RunRecord` with an ``extra.serve`` block when
+a ledger is configured.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.obs import NULL_TELEMETRY, Telemetry
+from repro.serve.opcache import SharedOperatorCache
+from repro.serve.protocol import (
+    ProtocolError,
+    ServeError,
+    SolveSpec,
+    parse_request,
+    read_message,
+    write_message,
+)
+from repro.serve.scheduler import FairScheduler, Job
+
+__all__ = ["JobServer", "ServeConfig", "main", "solve_direct"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Server configuration (the ``python -m repro serve`` flags)."""
+
+    host: str = "127.0.0.1"
+    #: 0 = let the OS pick a free port (reported after bind)
+    port: int = 0
+    #: warm solve workers == max concurrent solves
+    pool_size: int = 2
+    #: distinct tenants with queued or running work
+    max_tenants: int = 8
+    #: admission budget: predicted seconds of queued + in-flight work
+    shed_budget_s: float = 60.0
+    #: LRU byte budget of the shared operator cache
+    opcache_bytes: int = 256 << 20
+    #: flight-recorder target ("auto" = default RUNS.jsonl, None = off)
+    ledger_path: str | None = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= int(self.port) <= 65535:
+            raise ValueError(f"port must be in [0, 65535], got {self.port}")
+        if int(self.pool_size) < 1:
+            raise ValueError(f"pool_size must be >= 1, got {self.pool_size}")
+        if int(self.max_tenants) < 1:
+            raise ValueError(f"max_tenants must be >= 1, got {self.max_tenants}")
+        if float(self.shed_budget_s) <= 0:
+            raise ValueError(
+                f"shed_budget_s must be positive seconds, got {self.shed_budget_s}"
+            )
+        if int(self.opcache_bytes) <= 0:
+            raise ValueError(
+                f"opcache_bytes must be positive, got {self.opcache_bytes}"
+            )
+
+
+# ------------------------------------------------------------------ workload
+
+#: leaf capacity used for one-shot served trees (matches the admission
+#: surrogate in :func:`repro.serve.scheduler.estimate_op_counts`)
+_SERVE_LEAF_SIZE = 32
+
+
+def _build_particles(spec: SolveSpec):
+    """Canonical workload for a spec: compact Plummer in a centred cube.
+
+    Both the served path and the direct baseline build from here, so
+    identity of results reduces to identity of the solve itself.
+    """
+    from repro.distributions.generators import compact_plummer
+    from repro.geometry.box import Box
+
+    particles = compact_plummer(
+        spec.n, seed=spec.seed, total_mass=1.0, domain_size=spec.domain_size
+    )
+    domain = Box((0.0, 0.0, 0.0), float(spec.domain_size))
+    return particles, domain
+
+
+def _expansion(spec: SolveSpec):
+    if spec.backend == "spherical":
+        from repro.expansions.spherical import SphericalExpansion
+
+        return SphericalExpansion(spec.order)
+    from repro.expansions.cartesian import CartesianExpansion
+
+    return CartesianExpansion(spec.order)
+
+
+def _solve_core(
+    spec: SolveSpec,
+    *,
+    opcache: SharedOperatorCache | None = None,
+    deadline_s: float | None = None,
+    telemetry: Telemetry | None = None,
+) -> dict[str, Any]:
+    """Execute one spec and return its result dict.
+
+    This single function IS both the served path (``opcache`` installed,
+    remaining ``deadline_s`` threaded through) and the direct baseline
+    (no shared cache, no deadline): the two differ only in where
+    geometry-class operators come from, which is bitwise-neutral.
+
+    Raises :class:`ServeError` 408 when the deadline expires mid-solve.
+    """
+    from repro.kernels.laplace import GravityKernel
+    from repro.runtime.engine import EngineConfig, ExecutionEngine, GraphDeadlineError
+    from repro.tree.cache import ListCache
+    from repro.tree.octree import AdaptiveOctree
+
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
+    spec.validate()
+
+    def deadline_error(phase: str) -> ServeError:
+        return ServeError(
+            408,
+            "deadline",
+            f"request deadline of {spec.deadline_s}s expired during {phase}",
+            details={"deadline_s": spec.deadline_s, "phase": phase},
+        )
+
+    if deadline_s is not None and deadline_s <= 0:
+        raise deadline_error("queue")
+
+    if spec.steps > 0:
+        return _run_simulation(spec, opcache, deadline_s, tel, deadline_error)
+
+    # ---------------------------------------------------- one-shot field solve
+    particles, domain = _build_particles(spec)
+    tree = AdaptiveOctree(
+        particles.positions, _SERVE_LEAF_SIZE, root_box=domain
+    )
+    list_cache = ListCache()
+    if opcache is not None:
+        list_cache.share_operator_cache(opcache)
+    engine = None
+    if spec.workers > 1 or deadline_s is not None:
+        engine = ExecutionEngine(
+            EngineConfig(
+                n_workers=spec.workers,
+                deadline_s=deadline_s,
+                deadline_fatal=deadline_s is not None,
+            )
+        )
+    try:
+        if spec.kernel == "stokeslet":
+            from repro.kernels.stokeslet_fmm import StokesletFMMSolver
+
+            forces = np.random.default_rng(spec.seed).standard_normal(
+                (spec.n, 3)
+            )
+            solver = StokesletFMMSolver(
+                expansion=_expansion(spec),
+                folded=spec.folded,
+                list_cache=list_cache,
+                telemetry=tel,
+                engine=engine,
+            )
+            res = solver.solve(tree, forces)
+            return {
+                "kernel": spec.kernel,
+                "velocity": res.velocity,
+                "op_counts": res.op_counts,
+            }
+        from repro.fmm.evaluator import FMMSolver
+
+        solver_l = FMMSolver(
+            GravityKernel(G=1.0, softening=1e-3),
+            expansion=_expansion(spec),
+            folded=spec.folded,
+            list_cache=list_cache,
+            telemetry=tel,
+            engine=engine,
+        )
+        res = solver_l.solve(tree, particles.strengths, gradient=True)
+        return {
+            "kernel": spec.kernel,
+            "potential": res.potential,
+            "gradient": res.gradient,
+            "op_counts": res.op_counts,
+        }
+    except GraphDeadlineError as exc:
+        raise deadline_error("solve") from exc
+    finally:
+        if engine is not None:
+            engine.close()
+
+
+def _run_simulation(spec, opcache, deadline_s, tel, deadline_error):
+    """Time-stepped Laplace run; deadline checked between steps too."""
+    from repro.kernels.laplace import GravityKernel
+    from repro.machine.spec import system_a
+    from repro.runtime.engine import GraphDeadlineError
+    from repro.sim.driver import Simulation, SimulationConfig
+
+    particles, domain = _build_particles(spec)
+    config = SimulationConfig(
+        dt=spec.dt,
+        order=spec.order,
+        folded=spec.folded,
+        forces="fmm",
+        seed=spec.seed,
+        n_workers=spec.workers,
+        deadline_s=deadline_s,
+        initial_S=_SERVE_LEAF_SIZE,
+    )
+    t0 = time.monotonic()
+    sim = Simulation(
+        particles,
+        GravityKernel(G=1.0, softening=1e-3),
+        system_a(),
+        config=config,
+        domain=domain,
+        telemetry=tel if tel.enabled else None,
+    )
+    if opcache is not None:
+        sim.list_cache.share_operator_cache(opcache)
+    with sim:
+        for _ in range(spec.steps):
+            if deadline_s is not None and time.monotonic() - t0 >= deadline_s:
+                raise deadline_error("stepping")
+            try:
+                sim.step()
+            except GraphDeadlineError as exc:
+                raise deadline_error("solve") from exc
+        return {
+            "kernel": spec.kernel,
+            "positions": sim.particles.positions.copy(),
+            "velocities": sim.particles.velocities.copy(),
+            "n_steps": sim.step_index,
+            "summary": sim.summary(),
+        }
+
+
+def solve_direct(spec: SolveSpec | dict) -> dict[str, Any]:
+    """The direct (no-server) baseline for one spec.
+
+    Tests and the warm-vs-cold benchmark compare served results against
+    this bitwise (``np.array_equal``): same workload builder, same solve
+    path, no shared operator cache, no deadline.
+    """
+    if isinstance(spec, dict):
+        spec = SolveSpec.from_dict(spec)
+    return _solve_core(spec)
+
+
+# ----------------------------------------------------------------- the server
+
+
+class JobServer:
+    """Multi-tenant asyncio front end over a warm engine pool."""
+
+    def __init__(
+        self,
+        config: ServeConfig | None = None,
+        *,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.opcache = SharedOperatorCache(self.config.opcache_bytes)
+        self.scheduler = FairScheduler(
+            self._execute,
+            pool_size=self.config.pool_size,
+            max_tenants=self.config.max_tenants,
+            shed_budget_s=self.config.shed_budget_s,
+        )
+        self._server: asyncio.base_events.Server | None = None
+        self._started = time.monotonic()
+        self.requests_total = 0
+
+    # ----------------------------------------------------------- lifecycle
+    async def start(self) -> None:
+        """Bind the TCP listener (skip for purely in-process use)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+
+    @property
+    def port(self) -> int:
+        """The actually-bound port (resolves ``port=0``)."""
+        if self._server is None:
+            raise RuntimeError("server not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def aclose(self) -> None:
+        """Stop accepting, shed the queue with 503s, drain in-flight."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.scheduler.close()
+
+    # ------------------------------------------------------------- requests
+    async def handle_request(self, payload: dict) -> dict:
+        """Process one protocol request dict -> one response dict.
+
+        The single entry point shared by the TCP handler and the
+        in-process :class:`~repro.serve.client.ServeClient`.
+        """
+        rid = payload.get("id") if isinstance(payload, dict) else None
+        try:
+            rid, kind, tenant, spec = parse_request(payload)
+            self.requests_total += 1
+            if kind == "status":
+                return {"id": rid, "ok": True, "result": self.status()}
+            want_trace = kind == "trace"
+            t_submit = time.monotonic()
+            future = self.scheduler.submit(tenant, spec)
+            result = await future
+            if want_trace:
+                result = dict(result)
+                result["trace"] = {
+                    "request_s": time.monotonic() - t_submit,
+                    "opcache": self.opcache.stats(),
+                    "governor": self.scheduler.governor.snapshot(),
+                }
+            self._export_gauges()
+            return {"id": rid, "ok": True, "result": result}
+        except ServeError as exc:
+            self._export_gauges()
+            return {"id": rid, "ok": False, "error": exc.to_dict()}
+        except Exception as exc:  # noqa: BLE001 — never kill the connection
+            return {
+                "id": rid,
+                "ok": False,
+                "error": ServeError(
+                    500, "internal", f"{type(exc).__name__}: {exc}"
+                ).to_dict(),
+            }
+
+    def status(self) -> dict[str, Any]:
+        sched = self.scheduler
+        return {
+            "uptime_s": time.monotonic() - self._started,
+            "pool_size": sched.pool_size,
+            "queue_depth": sched.queue_depth(),
+            "active_tenants": sched.active_tenants(),
+            "queued_cost_s": sched.queued_cost_s(),
+            "shed_budget_s": sched.shed_budget_s,
+            "requests_total": self.requests_total,
+            "served_total": sched.served_total,
+            "failed_total": sched.failed_total,
+            "shed_total": sched.shed_total,
+            "deadline_total": sched.deadline_total,
+            "opcache": self.opcache.stats(),
+            "governor": sched.governor.snapshot(),
+        }
+
+    # ------------------------------------------------------------ execution
+    def _execute(self, job: Job) -> dict[str, Any]:
+        """Run one admitted job on a pool thread."""
+        tel = self.telemetry
+        t0 = time.monotonic()
+        queue_wait = t0 - job.enqueued_at
+        with tel.tracer.span(
+            "serve-request",
+            tenant=job.tenant,
+            kernel=job.spec.kernel,
+            n=job.spec.n,
+            steps=job.spec.steps,
+            predicted_s=round(job.predicted_s, 6),
+        ):
+            result = _solve_core(
+                job.spec,
+                opcache=self.opcache,
+                deadline_s=job.remaining_deadline(),
+                telemetry=tel,
+            )
+        wall = time.monotonic() - t0
+        tel.metrics.histogram(
+            "serve_request_seconds",
+            "wall seconds per served solve (excluding queue wait)",
+            buckets=(0.05, 0.2, 0.5, 1.0, 2.0, 5.0, 15.0, 60.0),
+        ).observe(wall)
+        self._ledger_record(job, wall, queue_wait)
+        return result
+
+    def _ledger_record(self, job: Job, wall: float, queue_wait: float) -> None:
+        if self.config.ledger_path is None:
+            return
+        try:
+            from repro.obs.ledger import RunLedger, RunRecord
+
+            target = self.config.ledger_path
+            record = RunRecord(
+                bench="serve",
+                kind="run",
+                metrics={
+                    "wall_s": round(wall, 6),
+                    "queue_wait_s": round(queue_wait, 6),
+                    "predicted_s": round(job.predicted_s, 6),
+                },
+                extra={
+                    "serve": {
+                        "tenant": job.tenant,
+                        "spec": job.spec.to_dict(),
+                        "opcache": self.opcache.stats(),
+                        "queue_depth": self.scheduler.queue_depth(),
+                        "active_tenants": self.scheduler.active_tenants(),
+                    }
+                },
+            )
+            RunLedger(None if target == "auto" else target).append(record)
+        except Exception:
+            pass  # the recorder must never fail a served request
+
+    def _export_gauges(self) -> None:
+        m = self.telemetry.metrics
+        sched = self.scheduler
+        m.gauge("serve_queue_depth", "queued solve requests").set(
+            sched.queue_depth()
+        )
+        m.gauge("serve_tenants", "tenants with queued or running work").set(
+            sched.active_tenants()
+        )
+        m.gauge(
+            "serve_queued_cost_seconds",
+            "cost-model predicted seconds of queued + in-flight work",
+        ).set(sched.queued_cost_s())
+        m.gauge(
+            "serve_opcache_bytes", "resident bytes in the shared operator cache"
+        ).set(self.opcache.stats()["bytes"])
+        m.gauge("serve_requests_total", "protocol requests handled").set(
+            self.requests_total
+        )
+        m.gauge("serve_shed_total", "requests rejected by admission control").set(
+            sched.shed_total
+        )
+        m.gauge("serve_deadline_total", "requests failed by deadline expiry").set(
+            sched.deadline_total
+        )
+
+    # ------------------------------------------------------------------ TCP
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """JSON-lines loop; requests on one connection are multiplexed."""
+        write_lock = asyncio.Lock()
+        pending: set[asyncio.Task] = set()
+
+        async def respond(payload: dict) -> None:
+            response = await self.handle_request(payload)
+            async with write_lock:
+                writer.write(write_message(response))
+                await writer.drain()
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    payload = read_message(line)
+                except ProtocolError as exc:
+                    async with write_lock:
+                        writer.write(
+                            write_message(
+                                {"id": None, "ok": False, "error": exc.to_dict()}
+                            )
+                        )
+                        await writer.drain()
+                    continue
+                task = asyncio.get_running_loop().create_task(respond(payload))
+                pending.add(task)
+                task.add_done_callback(pending.discard)
+            if pending:
+                await asyncio.gather(*list(pending), return_exceptions=True)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+# -------------------------------------------------------------------- CLI
+
+
+async def _serve_forever(server: JobServer) -> None:
+    await server.start()
+    print(
+        f"serving on {server.config.host}:{server.port} "
+        f"(pool={server.config.pool_size}, "
+        f"max_tenants={server.config.max_tenants}, "
+        f"shed_budget={server.config.shed_budget_s}s)"
+    )
+    try:
+        assert server._server is not None
+        async with server._server:
+            await server._server.serve_forever()
+    finally:
+        await server.aclose()
+
+
+def main(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    pool: int = 2,
+    max_tenants: int = 8,
+    shed_budget: float = 60.0,
+    opcache_mb: int = 256,
+    ledger: str | None = None,
+) -> None:
+    """``python -m repro serve`` — run the job server until interrupted."""
+    config = ServeConfig(
+        host=host,
+        port=int(port),
+        pool_size=int(pool),
+        max_tenants=int(max_tenants),
+        shed_budget_s=float(shed_budget),
+        opcache_bytes=int(opcache_mb) << 20,
+        ledger_path=None if ledger in (None, "none", "off") else ledger,
+    )
+    server = JobServer(config)
+    try:
+        asyncio.run(_serve_forever(server))
+    except KeyboardInterrupt:
+        print("interrupted; shut down")

@@ -79,6 +79,14 @@ class SimulationConfig:
     #: ``>1`` = shard the solve across that many spawned workers over
     #: shared memory.  Mutually exclusive with ``n_workers > 1``.
     n_shards: int | None = None
+    #: abort any single FMM solve that runs longer than this many wall
+    #: seconds (``None`` = no deadline).  Enforced by the execution
+    #: engine's graph deadline (a serial inline engine is created even at
+    #: ``n_workers=1`` so the checks run); the expiry surfaces as
+    #: :class:`repro.runtime.engine.GraphDeadlineError` instead of
+    #: degrading to a serial re-run — this is the per-request budget the
+    #: serve subsystem wires down (DESIGN.md §15).
+    deadline_s: float | None = None
     #: opt-in NaN/Inf health checks + quarantine (DESIGN.md §11)
     guardrail: GuardrailConfig = field(default_factory=GuardrailConfig)
     #: write a checkpoint every K steps (None = disabled; must be > 0)
@@ -116,6 +124,17 @@ class SimulationConfig:
             raise ValueError(
                 "n_shards and n_workers are mutually exclusive parallel "
                 "backends; set one of them to 1 (or None)"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(
+                f"deadline_s must be a positive wall-clock budget in "
+                f"seconds (or None to disable), got {self.deadline_s}"
+            )
+        if self.deadline_s is not None and (self.n_shards or 1) > 1:
+            raise ValueError(
+                "deadline_s requires the thread engine; the multi-process "
+                "shard backend has no cooperative deadline — set n_shards "
+                "to 1 (or None)"
             )
         if self.checkpoint_every is not None and self.checkpoint_every < 1:
             raise ValueError(
@@ -195,9 +214,14 @@ class Simulation:
                 self.engine = ProcessEngine(n_shards=self.config.n_shards)
             else:
                 engine_config = EngineConfig(
-                    n_workers=self.config.n_workers, overlap=self.config.overlap
+                    n_workers=self.config.n_workers,
+                    overlap=self.config.overlap,
+                    deadline_s=self.config.deadline_s,
+                    deadline_fatal=self.config.deadline_s is not None,
                 )
-                if engine_config.parallel:
+                # a deadline needs the engine even at 1 worker: the serial
+                # inline path checks the budget between tasks
+                if engine_config.parallel or engine_config.deadline_s is not None:
                     self.engine = ExecutionEngine(engine_config)
         self.solver = (
             FMMSolver(

@@ -86,6 +86,8 @@ class ListCache:
         self._m_builds = None
         self._m_repairs = None
         self._m_touched = None
+        #: shared operator cache installed on every lists this cache builds
+        self._op_cache = None
 
     def bind_metrics(self, registry) -> None:
         """Mirror the counters into a :class:`repro.obs.MetricsRegistry`
@@ -111,6 +113,23 @@ class ListCache:
     def bind_tracer(self, tracer) -> None:
         """Attach a :class:`repro.obs.Tracer`; each repair gets a span."""
         self._tracer = tracer
+
+    def share_operator_cache(self, cache) -> None:
+        """Install a shared far-field operator cache on future lists.
+
+        ``cache`` implements
+        :class:`repro.fmm.farfield.OperatorCacheProtocol`.  Dense
+        translation operators depend on the absolute cell size, so a
+        cache shared across *trees* (the serve subsystem's process-global
+        LRU) must separate trees with different root sizes: when the
+        cache exposes ``scoped(scope)`` (as
+        :class:`repro.serve.opcache.SharedOperatorCache` does), each
+        lists gets a view keyed under its tree's root-box size, and two
+        tenants whose domains agree share every geometry-class operator
+        while differently-sized domains can never collide.  Lists built
+        before this call keep their private store.
+        """
+        self._op_cache = cache
 
     # ------------------------------------------------------------------ get
     def get(self, tree: AdaptiveOctree, *, folded: bool = True) -> InteractionLists:
@@ -165,6 +184,11 @@ class ListCache:
 
     def _rebuild(self, tree, key, folded) -> InteractionLists:
         lists = self._builder(tree, folded=folded)
+        if self._op_cache is not None:
+            scoped = getattr(self._op_cache, "scoped", None)
+            lists.farfield_op_cache = (
+                scoped(float(tree.root_box.size)) if scoped else self._op_cache
+            )
         self.builds += 1
         if self._m_builds is not None:
             self._m_builds.inc()

@@ -45,3 +45,9 @@ def test_machine_tuning(capsys):
 def test_cluster_strong_scaling(capsys):
     out = run_example("cluster_strong_scaling.py", ["5000", "4"], capsys)
     assert "busiest rank" in out
+
+
+def test_serve_smoke(capsys):
+    out = run_example("serve_smoke.py", ["300", "4"], capsys)
+    assert "bitwise identical to direct solves" in out
+    assert "done." in out

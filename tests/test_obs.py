@@ -671,3 +671,83 @@ class _FakeClock:
 
     def __call__(self) -> float:
         return self.now
+
+
+# ------------------------------------------- telemetry under an asyncio server
+class TestTelemetryUnderAsyncio:
+    """The serve topology: an asyncio loop dispatching concurrent engine
+    solves onto pool threads, all sharing ONE Telemetry bundle.  Spans
+    must keep per-thread nesting, metrics must not lose increments, and
+    the trace must stay writable JSON afterwards."""
+
+    def _solve_once(self, telemetry, seed):
+        from repro.distributions.generators import compact_plummer
+        from repro.fmm.evaluator import FMMSolver
+        from repro.geometry.box import Box
+        from repro.kernels.laplace import GravityKernel
+        from repro.runtime.engine import EngineConfig, ExecutionEngine
+        from repro.tree.cache import ListCache
+        from repro.tree.octree import AdaptiveOctree
+
+        ps = compact_plummer(200, seed=seed)
+        tree = AdaptiveOctree(ps.positions, 32, root_box=Box((0, 0, 0), 1.0))
+        with telemetry.tracer.span("serve-request", seed=seed):
+            engine = ExecutionEngine(EngineConfig(n_workers=2))
+            try:
+                solver = FMMSolver(
+                    GravityKernel(G=1.0, softening=1e-3),
+                    order=3,
+                    list_cache=ListCache(),
+                    telemetry=telemetry,
+                    engine=engine,
+                )
+                res = solver.solve(tree, ps.strengths, gradient=True)
+            finally:
+                engine.close()
+        telemetry.metrics.counter(
+            "test_serve_solves_total", "solves driven by the asyncio test"
+        ).inc()
+        return res.potential
+
+    def test_concurrent_engine_solves_share_one_bundle(self, tmp_path):
+        import asyncio
+        from concurrent.futures import ThreadPoolExecutor
+
+        telemetry = Telemetry()
+        n_jobs = 6
+
+        async def drive():
+            loop = asyncio.get_running_loop()
+            with ThreadPoolExecutor(max_workers=3) as pool:
+                jobs = [
+                    loop.run_in_executor(pool, self._solve_once, telemetry, s)
+                    for s in range(n_jobs)
+                ]
+                return await asyncio.gather(*jobs)
+
+        results = asyncio.run(drive())
+        assert len(results) == n_jobs
+        for pot in results:
+            assert np.all(np.isfinite(pot))
+
+        # no lost increments on the shared counter
+        counter = telemetry.metrics.counter("test_serve_solves_total")
+        assert counter.value == n_jobs
+
+        # every span is well-formed and nesting never crosses threads
+        spans = [e for e in telemetry.tracer.events if e["ph"] == "X"]
+        request_spans = [e for e in spans if e["name"] == "serve-request"]
+        assert len(request_spans) == n_jobs
+        assert len({e["span_id"] for e in spans}) == len(spans)
+        by_id = {e["span_id"]: e for e in spans}
+        for ev in spans:
+            parent_id = ev.get("parent_id")
+            if parent_id is not None:
+                assert by_id[parent_id]["tid"] == ev["tid"]
+                assert by_id[parent_id]["ts"] <= ev["ts"]
+
+        # the mixed-thread trace still serializes to valid JSON
+        out = tmp_path / "serve_trace.json"
+        telemetry.tracer.write(str(out))
+        events = json.loads(out.read_text())["traceEvents"]
+        assert len(events) >= len(spans)
