@@ -45,6 +45,7 @@ GATED_BENCHES: dict[str, tuple[str, str]] = {
     "repair_vs_rebuild_50k_plummer": ("repair_ms_per_op", "lower"),
     "engine_step_50k_plummer": ("engine_ms", "lower"),
     "shard_step_500k_plummer": ("shard_ms", "lower"),
+    "shard_recovery_100k_plummer": ("recovery_ms", "lower"),
     "serve_warm_vs_cold_2k": ("warm_ms", "lower"),
 }
 

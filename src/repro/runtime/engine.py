@@ -452,7 +452,22 @@ class ExecutionEngine:
             return self._pool
 
     def install_fault_plan(self, plan) -> None:
-        """Arm (or with ``None`` disarm) a fault-injection plan."""
+        """Arm (or with ``None`` disarm) a fault-injection plan.
+
+        Process-level kinds (kill/stall/pipe_drop) are rejected here: a
+        SIGKILL aimed at a worker *thread* would take the whole
+        interpreter down — those specs belong on a
+        :class:`~repro.runtime.shards.ProcessEngine`.
+        """
+        if plan is not None:
+            from repro.resilience.faults import PROCESS_FAULT_KINDS
+
+            bad = [s.kind for s in plan.faults if s.kind in PROCESS_FAULT_KINDS]
+            if bad:
+                raise ValueError(
+                    f"process-level fault kinds {sorted(set(bad))} cannot be "
+                    "installed on a thread engine; use ProcessEngine"
+                )
         self.fault_hook = None if plan is None else plan.hook
 
     def cancel(self) -> None:

@@ -33,20 +33,56 @@ matmul:
 * order-sensitive scatter stages (P2L/M2P ``np.add.at``, the near-field
   self correction) run whole on one shard.
 
-Supersteps are separated by a :class:`multiprocessing.Barrier`; a worker
-that fails aborts the barrier so siblings unblock, and the parent tears
-the pool down and raises :class:`ShardExecutionError` — callers degrade
-to the exact serial path, mirroring the thread engine's ladder.
+Supersteps are separated by a :class:`multiprocessing.Barrier`.
+
+Supervision and recovery
+------------------------
+The parent runs a shard supervisor around every solve.  Workers send
+small heartbeat messages over their control pipes — one before each
+barrier wait and one at each named stage (``p2m``, ``m2m``, ``halo``,
+``m2l``, ``p2l``, ``l2l``, ``l2p``, ``m2p``, ``near``, ``near-self``,
+suffixed ``@pass`` in multi-pass runs) — each carrying a monotonic tick
+and the highest fully completed *phase* (pass index; the near field is
+the final phase).  The supervisor multiplexes all pipes with a read
+deadline (``heartbeat_s``), so worker death (pipe EOF), a worker
+exception, or a wedged worker (no message within the deadline; the
+stage ticks identify the laggard) all surface in bounded wall-clock.
+
+On failure the supervisor walks a recovery ladder:
+
+1. **partial redo** — abort the barrier so survivors unblock and report
+   the phase they completed; because every phase starts by zeroing its
+   accumulation state across all shards, re-running from the first
+   incomplete phase is bitwise-idempotent, so only the lost phases are
+   re-executed;
+2. **respawn** — dead/hung workers are killed, respawned, and re-fed the
+   retained pickled plan over the same arena; the shared barrier is
+   reset and the run re-dispatched from the restart phase (at most
+   ``max_respawns`` recoveries per solve);
+3. **serial fallback** — past ``max_respawns`` strikes the pool is torn
+   down and :class:`ShardExecutionError` (with a ``reason``) propagates;
+   callers degrade to the exact serial path, mirroring the thread
+   engine's ladder.
+
+Chaos seams: ``install_fault_plan`` ships a
+:class:`~repro.resilience.faults.FaultPlan` to every worker, whose
+process-level kinds (seeded SIGKILL / heartbeat-stall / pipe-drop at the
+named stages above) drive the recovery matrix in CI; recovered results
+remain bitwise identical to serial because redone phases recompute
+exactly the serial schedule.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import multiprocessing.connection as mp_connection
 import os
 import pickle
 import tempfile
+import threading
 import time
 import traceback
+import weakref
 from dataclasses import dataclass, field
 from multiprocessing import shared_memory
 
@@ -58,6 +94,7 @@ __all__ = [
     "ShardExecutionError",
     "ShardRunResult",
     "default_shards",
+    "supervisor_snapshot",
 ]
 
 #: delta-scratch row budget per M2L superstep round (bounds arena size)
@@ -68,7 +105,54 @@ _BODY_POS_BYTES = 24
 
 
 class ShardExecutionError(RuntimeError):
-    """A shard worker failed (or timed out); the run produced no result."""
+    """A shard run failed beyond recovery; the solve produced no result.
+
+    ``reason`` is a short machine-readable cause — ``"worker died"``,
+    ``"heartbeat timeout"``, ``"worker error"``, or ``"barrier aborted"``
+    — while the message carries the full story (tracebacks, strike
+    counts).  Callers degrade to the exact serial path.
+    """
+
+    def __init__(self, message: str, *, reason: str = "failure") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class _ShardFailure(Exception):
+    """Internal: one failed run attempt, with everything recovery needs."""
+
+    def __init__(
+        self,
+        culprits: list[int],
+        reason: str,
+        restart_phase: int,
+        detail: str = "",
+    ) -> None:
+        super().__init__(detail or reason)
+        self.culprits = culprits
+        self.reason = reason
+        self.restart_phase = max(0, restart_phase)
+        self.detail = detail
+
+
+#: live engines, so the serve layer's status verb can report supervisor
+#: state without owning a reference (see :func:`supervisor_snapshot`)
+_ENGINES: "weakref.WeakSet[ProcessEngine]" = weakref.WeakSet()
+
+
+def supervisor_snapshot() -> dict:
+    """Aggregate supervision counters across every live ProcessEngine."""
+    engines = list(_ENGINES)
+    return {
+        "engines": len(engines),
+        "shards": sum(e.n_shards for e in engines),
+        "runs_total": sum(e.total_runs for e in engines),
+        "respawns_total": sum(e.total_respawns for e in engines),
+        "partial_redos_total": sum(e.total_partial_redos for e in engines),
+        "serial_fallbacks_total": sum(
+            e.total_serial_fallbacks for e in engines
+        ),
+    }
 
 
 def default_shards() -> int:
@@ -465,6 +549,8 @@ class _WorkerState:
             self.near_remote = np.empty(0, dtype=np.int64)
 
         self._basis_cache: dict[str, np.ndarray] = {}
+        self._beat = lambda label=None: None
+        self.completed_phase = -1
         self._grad_mats = (
             self.exp.l2p_gradient_matrices()
             if any(p.gradient for p in plan.passes)
@@ -500,6 +586,7 @@ class _WorkerState:
         return b
 
     def _wait(self) -> None:
+        self._beat()  # barrier-arrival heartbeat: the laggard stands out
         t0 = time.perf_counter()
         self.barrier.wait(self.plan.timeout_s)
         self.barrier_s += time.perf_counter() - t0
@@ -697,7 +784,16 @@ class _WorkerState:
             )
 
     # ------------------------------------------------------------------ run
-    def run(self, refreshed: bool) -> dict:
+    def run(self, refreshed: bool, from_phase: int = 0, beat=None) -> dict:
+        """Execute phases ``from_phase..`` (pass indices, near field last).
+
+        Every phase starts by zeroing the state it accumulates into, so
+        restarting at any phase boundary is bitwise-idempotent — the
+        supervisor exploits this to redo only lost phases after a
+        failure.  ``beat(label=None)`` is the supervision callback: a
+        bare call is a heartbeat (sent before every barrier wait), a
+        labelled call marks a named stage (heartbeat + chaos hook).
+        """
         if refreshed:
             self.refresh()
         plan = self.plan
@@ -706,13 +802,18 @@ class _WorkerState:
         self.halo_s = 0.0
         self.intervals: list = []
         self.phase_s: dict = {}
+        self.completed_phase = from_phase - 1
+        self._beat = beat if beat is not None else (lambda label=None: None)
+        self._beat()
         self.barrier.wait(plan.timeout_s)  # align the clock origin
         self.t_run = time.perf_counter()
         tag = (lambda nm, i: f"{nm}@{i}") if len(plan.passes) > 1 else (
             lambda nm, i: nm
         )
         for i, spec in enumerate(plan.passes):
-            t = time.perf_counter()
+            if i < from_phase:
+                continue
+            self._beat(tag("p2m", i))
             self._zero_coeffs()
             self._wait()
             t = time.perf_counter()
@@ -720,6 +821,7 @@ class _WorkerState:
             self._span(tag("p2m", i), t)
             self._wait()
             for rnd, items in zip(plan.up_rounds, self.up_merge):
+                self._beat(tag("m2m", i))
                 t = time.perf_counter()
                 self._deltas(rnd, plan.up_classes)
                 self._span(tag("m2m", i), t)
@@ -728,8 +830,10 @@ class _WorkerState:
                 self._merges(items, "M")
                 self._span(tag("m2m", i), t)
                 self._wait()
+            self._beat(tag("halo", i))
             self._halo_gather()
             for rnd, items in zip(plan.m2l_rounds, self.m2l_merge):
+                self._beat(tag("m2l", i))
                 t = time.perf_counter()
                 self._deltas(rnd, plan.m2l_classes)
                 self._span(tag("m2l", i), t)
@@ -739,16 +843,19 @@ class _WorkerState:
                 self._span(tag("m2l", i), t)
                 self._wait()
             if plan.x_recv_rows.size:
+                self._beat(tag("p2l", i))
                 if self.me == 0:
                     t = time.perf_counter()
                     self._p2l(i, spec)
                     self._span(tag("p2l", i), t)
                 self._wait()
             for rnd in plan.down_rounds:
+                self._beat(tag("l2l", i))
                 t = time.perf_counter()
                 self._l2l(rnd)
                 self._span(tag("l2l", i), t)
                 self._wait()
+            self._beat(tag("l2p", i))
             if spec.gradient:
                 t = time.perf_counter()
                 self._gk()
@@ -759,12 +866,15 @@ class _WorkerState:
             self._span(tag("l2p", i), t)
             if plan.w_tgt_rows.size:
                 self._wait()
+                self._beat(tag("m2p", i))
                 if self.me == 0:
                     t = time.perf_counter()
                     self._m2p(i, spec)
                     self._span(tag("m2p", i), t)
             self._wait()
+            self.completed_phase = i
         if plan.near_potential or plan.near_gradient:
+            self._beat("near")
             self._near_zero()
             self._wait()
             self._near_halo()
@@ -772,11 +882,13 @@ class _WorkerState:
             self._near_groups()
             self._span("p2p", t)
             self._wait()
+            self._beat("near-self")
             if self.me == 0:
                 t = time.perf_counter()
                 self._near_self()
                 self._span("p2p", t)
             self._wait()
+        self.completed_phase = len(plan.passes)
         wall = time.perf_counter() - self.t_run
         return {
             "shard": self.me,
@@ -804,7 +916,18 @@ def _make_expansion(backend: str, order: int):
 
 
 def _worker_main(conn, barrier, shard_id: int) -> None:
-    """Shard worker loop: install a plan, run solves, exit on close."""
+    """Shard worker loop: install a plan, run solves, exit on close.
+
+    Run messages are ``("run", refreshed, from_phase, attempt, fault_plan)``.
+    During a run the worker heartbeats ``("hb", tick, completed_phase)``
+    before every barrier wait and at every named stage (where the fault
+    plan's chaos hook also fires); a broken barrier — a sibling failed or
+    the supervisor aborted — ends the attempt with
+    ``("aborted", completed_phase)`` and the worker returns to the
+    command loop, ready for the retry dispatch.  ``("ping", token)`` is
+    answered with ``("pong", token)``: the supervisor's positive sync
+    that the worker is idle and its pipe drained before a barrier reset.
+    """
     state: _WorkerState | None = None
     while True:
         try:
@@ -825,8 +948,25 @@ def _worker_main(conn, barrier, shard_id: int) -> None:
             elif cmd == "refresh":
                 state.refresh()
                 conn.send(("ok",))
+            elif cmd == "ping":
+                conn.send(("pong", msg[1]))
             elif cmd == "run":
-                conn.send(("stats", state.run(msg[1])))
+                refreshed, from_phase, attempt, fplan = msg[1:5]
+                tick = 0
+
+                def beat(label=None):
+                    nonlocal tick
+                    tick += 1
+                    conn.send(("hb", tick, state.completed_phase))
+                    if label is not None and fplan is not None:
+                        fplan.hook(label, attempt, shard=shard_id, pipe=conn)
+
+                try:
+                    stats = state.run(refreshed, from_phase=from_phase, beat=beat)
+                except threading.BrokenBarrierError:
+                    conn.send(("aborted", state.completed_phase))
+                else:
+                    conn.send(("stats", stats))
             else:
                 conn.send(("error", f"unknown command {cmd!r}"))
         except BaseException:
@@ -866,6 +1006,9 @@ class ShardRunResult:
     partition_imbalance: float = 1.0  # max/mean of partitioned work weights
     phase_seconds: dict = field(default_factory=dict)
     intervals: list = field(default_factory=list)
+    respawns: int = 0  # workers respawned while producing this result
+    partial_redos: int = 0  # recoveries that skipped completed phases
+    restart_phases: list = field(default_factory=list)  # phase per recovery
 
     @property
     def imbalance(self) -> float:
@@ -900,6 +1043,8 @@ class ShardRunResult:
             "halo_s": round(self.halo_seconds, 6),
             "let_bytes": round(self.let_bytes, 1),
             "partition_imbalance": round(self.partition_imbalance, 4),
+            "respawns": int(self.respawns),
+            "partial_redos": int(self.partial_redos),
         }
 
     def to_text(self) -> str:
@@ -925,15 +1070,28 @@ class ShardRunResult:
 
 
 class _Session:
-    """One installed structure: arena + plan + parent-side extras."""
+    """One installed structure: arena + plan + parent-side extras.
 
-    def __init__(self, key, arena, plan, extras, generation):
+    ``plan_path`` (the pickled plan on disk) is retained for the session
+    lifetime so a respawned worker can be re-fed the identical plan.
+    """
+
+    def __init__(self, key, arena, plan, extras, generation, plan_path):
         self.key = key
         self.arena = arena
         self.plan = plan
         self.extras = extras
         self.generation = generation
+        self.plan_path = plan_path
         self.needs_refresh = False
+
+    def drop_plan_file(self) -> None:
+        if self.plan_path is not None:
+            try:
+                os.unlink(self.plan_path)
+            except OSError:
+                pass
+            self.plan_path = None
 
 
 class ProcessEngine:
@@ -952,12 +1110,32 @@ class ProcessEngine:
         n_shards: int | None = None,
         *,
         timeout_s: float = 600.0,
+        heartbeat_s: float | None = None,
+        max_respawns: int = 2,
+        telemetry=None,
     ) -> None:
         n_shards = default_shards() if n_shards is None else int(n_shards)
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
+        if int(max_respawns) < 0:
+            raise ValueError("max_respawns must be >= 0")
         self.n_shards = n_shards
         self.timeout_s = float(timeout_s)
+        #: supervision read deadline: a worker silent this long is hung.
+        #: Defaults past the workers' own barrier timeout so a slow stage
+        #: self-resolves through the barrier cascade before the parent
+        #: declares anyone dead.
+        self.heartbeat_s = (
+            float(heartbeat_s) if heartbeat_s is not None
+            else self.timeout_s + 30.0
+        )
+        if self.heartbeat_s <= 0:
+            raise ValueError("heartbeat_s must be positive")
+        #: recoveries allowed per solve before falling back to serial
+        self.max_respawns = int(max_respawns)
+        self._telemetry = telemetry
+        self._fault_plan = None
+        self._ping_token = 0
         self._ctx = mp.get_context("spawn")
         self._procs: list = []
         self._conns: list = []
@@ -969,6 +1147,37 @@ class ProcessEngine:
         self.total_halo_bytes = 0
         self.total_halo_seconds = 0.0
         self.total_idle_seconds = 0.0
+        self.total_respawns = 0
+        self.total_partial_redos = 0
+        self.total_serial_fallbacks = 0
+        _ENGINES.add(self)
+
+    def install_fault_plan(self, plan) -> None:
+        """Arm (or with ``None`` disarm) a process-level chaos plan.
+
+        The plan travels pickled inside every run dispatch, so each
+        worker (including respawned ones) evaluates it against the
+        current run-attempt index — ``fire_attempts=1`` kills attempt 0
+        and lets the recovery attempt through.
+        """
+        if plan is not None:
+            try:
+                pickle.dumps(plan)
+            except Exception as exc:
+                raise ValueError(
+                    "fault plan must be picklable to reach shard workers "
+                    f"({exc})"
+                ) from exc
+        self._fault_plan = plan
+
+    def _count(self, name: str, help_text: str, amount: int = 1) -> None:
+        tel = self._telemetry
+        if tel is None or not getattr(tel, "enabled", False) or amount <= 0:
+            return
+        try:
+            tel.metrics.counter(name, help_text).inc(amount)
+        except Exception:
+            pass  # supervision must never fail on a telemetry hiccup
 
     # interface parity with ExecutionEngine
     @property
@@ -1026,6 +1235,7 @@ class ProcessEngine:
     def _drop_session(self) -> None:
         if self._session is not None:
             self._session.arena.close(unlink=True)
+            self._session.drop_plan_file()
             self._session = None
 
     def close(self) -> None:
@@ -1083,6 +1293,8 @@ class ProcessEngine:
         plan.layout = arena.layout
         self._fill_structure(arena, tree, extras)
         self._ensure_pool()
+        # the plan file outlives the install: respawned workers are re-fed
+        # the same pickle (unlinked when the session is dropped)
         fd, path = tempfile.mkstemp(prefix="repro-shard-plan-", suffix=".pkl")
         try:
             with os.fdopen(fd, "wb") as fh:
@@ -1091,13 +1303,12 @@ class ProcessEngine:
             self._collect("install")
         except ShardExecutionError:
             arena.close(unlink=True)
-            raise
-        finally:
             try:
                 os.unlink(path)
             except OSError:
                 pass
-        sess = _Session(key, arena, plan, extras, tree.generation)
+            raise
+        sess = _Session(key, arena, plan, extras, tree.generation, path)
         self._session = sess
         return sess
 
@@ -1149,7 +1360,10 @@ class ProcessEngine:
             try:
                 conn.send(msg)
             except (BrokenPipeError, EOFError, OSError):
-                self._fail(f"shard {s} died before {what} could be dispatched")
+                self._fail(
+                    f"shard {s} died before {what} could be dispatched",
+                    reason="worker died",
+                )
 
     def _collect(self, what: str) -> list:
         out = []
@@ -1160,25 +1374,275 @@ class ProcessEngine:
                 alive = conn.poll(remaining)
                 msg = conn.recv() if alive else None
             except (EOFError, ConnectionResetError, OSError):
-                self._fail(f"shard {s} died during {what}")
+                self._fail(f"shard {s} died during {what}", reason="worker died")
             if msg is None:
-                self._fail(f"shard {s} timed out during {what}")
+                self._fail(
+                    f"shard {s} timed out during {what}",
+                    reason="heartbeat timeout",
+                )
             if msg[0] == "error":
-                self._fail(f"shard {s} failed during {what}:\n{msg[1]}")
+                self._fail(
+                    f"shard {s} failed during {what}:\n{msg[1]}",
+                    reason="worker error",
+                )
             out.append(msg[1] if len(msg) > 1 else None)
         return out
 
-    def _fail(self, reason: str) -> None:
+    def _fail(self, message: str, *, reason: str = "failure") -> None:
         self._teardown_pool()
         self._drop_session()
-        raise ShardExecutionError(reason)
+        self.total_serial_fallbacks += 1
+        self._count(
+            "shard_serial_fallback_total",
+            "sharded solves abandoned past max_respawns (serial fallback)",
+        )
+        raise ShardExecutionError(message, reason=reason)
+
+    # ------------------------------------------------------- supervision
+    def _abort_barrier(self) -> None:
+        try:
+            if self._barrier is not None:
+                self._barrier.abort()
+        except Exception:
+            pass
+
+    def _dispatch_run(self, refreshed: bool, from_phase: int, attempt: int) -> None:
+        msg = ("run", refreshed, from_phase, attempt, self._fault_plan)
+        for s, conn in enumerate(self._conns):
+            try:
+                conn.send(msg)
+            except (BrokenPipeError, EOFError, OSError):
+                raise _ShardFailure(
+                    [s],
+                    "worker died",
+                    from_phase,
+                    f"shard {s} died before run dispatch",
+                )
+
+    def _supervise_run(self, from_phase: int) -> list:
+        """Multiplex worker pipes until every shard reaches an outcome.
+
+        Outcomes: ``stats`` (finished), ``aborted`` (unblocked from a
+        broken barrier), ``error`` (worker exception), ``died`` (pipe
+        EOF), ``hung`` (silent past ``heartbeat_s``; the stage ticks
+        single out the laggard among workers parked at a barrier).
+        Anything other than all-``stats`` raises :class:`_ShardFailure`
+        carrying the culprits and the restart phase.
+        """
+        n = self.n_shards
+        hb = self.heartbeat_s
+        stats: list = [None] * n
+        outcome: list = [None] * n
+        completed = [from_phase - 1] * n
+        ticks = [0] * n
+        now = time.monotonic()
+        last_seen = [now] * n
+        errors: dict[int, str] = {}
+        shard_of = {conn: s for s, conn in enumerate(self._conns)}
+
+        def open_shards():
+            return [s for s in range(n) if outcome[s] is None]
+
+        def aborted_grace() -> None:
+            # the barrier just broke: give still-open workers a fresh
+            # heartbeat window to notice and report before staleness fires
+            fresh = time.monotonic()
+            for s in open_shards():
+                last_seen[s] = fresh
+
+        while open_shards():
+            pending = [c for c, s in shard_of.items() if outcome[s] is None]
+            ready = mp_connection.wait(pending, timeout=min(1.0, hb / 4.0))
+            now = time.monotonic()
+            if not ready:
+                stale = [s for s in open_shards() if now - last_seen[s] > hb]
+                if not stale:
+                    continue
+                # workers parked at a barrier sent an arrival tick the
+                # laggard never reached — only the laggards are hung
+                max_tick = max(ticks[s] for s in open_shards())
+                behind = [s for s in stale if ticks[s] < max_tick]
+                for s in behind or stale:
+                    outcome[s] = "hung"
+                self._abort_barrier()
+                aborted_grace()
+                continue
+            for conn in ready:
+                s = shard_of[conn]
+                if outcome[s] is not None:
+                    continue
+                try:
+                    msg = conn.recv()
+                except (EOFError, ConnectionResetError, OSError):
+                    outcome[s] = "died"
+                    self._abort_barrier()
+                    aborted_grace()
+                    continue
+                last_seen[s] = now
+                kind = msg[0]
+                if kind == "hb":
+                    ticks[s] = msg[1]
+                    completed[s] = max(completed[s], msg[2])
+                elif kind == "stats":
+                    outcome[s] = "stats"
+                    stats[s] = msg[1]
+                elif kind == "aborted":
+                    outcome[s] = "aborted"
+                    completed[s] = max(completed[s], msg[1])
+                elif kind == "error":
+                    outcome[s] = "error"
+                    errors[s] = msg[1]
+                    self._abort_barrier()
+                    aborted_grace()
+
+        if all(o == "stats" for o in outcome):
+            return stats
+        culprits = [s for s in range(n) if outcome[s] in ("died", "error", "hung")]
+        if any(outcome[s] == "hung" for s in culprits):
+            reason = "heartbeat timeout"
+        elif any(outcome[s] == "died" for s in culprits):
+            reason = "worker died"
+        elif culprits:
+            reason = "worker error"
+        else:
+            reason = "barrier aborted"
+        detail = "; ".join(
+            f"shard {s} {outcome[s]}" for s in range(n) if outcome[s] != "stats"
+        )
+        for s, tb in errors.items():
+            detail += f"\nshard {s} traceback:\n{tb}"
+        raise _ShardFailure(culprits, reason, min(completed) + 1, detail)
+
+    def _respawn(self, s: int) -> None:
+        """Kill shard ``s``'s process (if alive) and start a fresh one."""
+        p = self._procs[s]
+        if p.is_alive():
+            p.terminate()
+            p.join(timeout=5.0)
+            if p.is_alive():
+                p.kill()
+                p.join(timeout=5.0)
+        else:
+            p.join(timeout=5.0)
+        try:
+            self._conns[s].close()
+        except OSError:
+            pass
+        parent, child = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(child, self._barrier, s),
+            name=f"repro-shard-{s}",
+            daemon=True,
+        )
+        proc.start()
+        child.close()
+        self._procs[s] = proc
+        self._conns[s] = parent
+
+    def _reinstall(self, s: int, sess: _Session) -> bool:
+        """Feed the retained plan pickle to a respawned worker."""
+        conn = self._conns[s]
+        try:
+            conn.send(("install", sess.plan_path))
+            if not conn.poll(self.timeout_s + 30.0):
+                return False
+            msg = conn.recv()
+        except (BrokenPipeError, EOFError, OSError):
+            return False
+        return msg[0] == "ok"
+
+    def _recover(self, failure: _ShardFailure, sess: _Session) -> int:
+        """Repair the pool after one failed attempt; returns respawn count.
+
+        Survivors are pinged (positive sync that they are back in the
+        command loop with their pipe drained); any that cannot answer
+        within the heartbeat window join the culprits.  Culprits are
+        killed, respawned, and re-fed the session plan; finally the
+        shared barrier is reset for the retry.
+        """
+        self._abort_barrier()
+        culprits = set(failure.culprits)
+        self._ping_token += 1
+        token = self._ping_token
+        deadline = time.monotonic() + max(1.0, self.heartbeat_s) + 5.0
+        for s, conn in enumerate(self._conns):
+            if s in culprits:
+                continue
+            try:
+                conn.send(("ping", token))
+            except (BrokenPipeError, OSError):
+                culprits.add(s)
+                continue
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not conn.poll(max(0.05, remaining)):
+                    culprits.add(s)
+                    break
+                try:
+                    msg = conn.recv()
+                except (EOFError, ConnectionResetError, OSError):
+                    culprits.add(s)
+                    break
+                if msg[0] == "pong" and msg[1] == token:
+                    break
+        for s in sorted(culprits):
+            self._respawn(s)
+            if not self._reinstall(s, sess):
+                self._fail(
+                    f"shard {s} failed plan reinstall after respawn "
+                    f"(original failure: {failure.detail or failure.reason})",
+                    reason=failure.reason,
+                )
+        try:
+            self._barrier.reset()
+        except Exception:
+            self._fail(
+                "barrier could not be reset after shard recovery",
+                reason=failure.reason,
+            )
+        n_respawned = len(culprits)
+        self.total_respawns += n_respawned
+        self._count(
+            "shard_respawns_total",
+            "shard worker processes respawned by the supervisor",
+            n_respawned,
+        )
+        if failure.restart_phase > 0:
+            self.total_partial_redos += 1
+            self._count(
+                "shard_partial_redo_total",
+                "recoveries that re-executed only the lost phases",
+            )
+        return n_respawned
 
     def _run(self, sess: _Session, tree) -> ShardRunResult:
         refreshed = sess.needs_refresh
         sess.needs_refresh = False
         t0 = time.perf_counter()
-        self._broadcast(("run", refreshed), "run")
-        stats = self._collect("run")
+        attempt = 0
+        from_phase = 0
+        failures = 0
+        respawned = 0
+        restart_phases: list = []
+        while True:
+            try:
+                self._dispatch_run(refreshed and attempt == 0, from_phase, attempt)
+                stats = self._supervise_run(from_phase)
+                break
+            except _ShardFailure as f:
+                failures += 1
+                if failures > self.max_respawns:
+                    self._fail(
+                        f"shard run failed ({f.reason}) with "
+                        f"{failures - 1} recovery attempt(s) spent "
+                        f"(max_respawns={self.max_respawns}): {f.detail}",
+                        reason=f.reason,
+                    )
+                respawned += self._recover(f, sess)
+                from_phase = f.restart_phase
+                restart_phases.append(f.restart_phase)
+                attempt += 1
         wall = time.perf_counter() - t0
         part, let = sess.extras["part"], sess.extras["let"]
         work = [w for w in part.rank_work if w > 0] or [1.0]
@@ -1203,6 +1667,9 @@ class ProcessEngine:
             partition_imbalance=(max(part.rank_work) / mean_w if mean_w else 1.0),
             phase_seconds=phase,
             intervals=sorted(intervals, key=lambda iv: (iv[1], iv[2])),
+            respawns=respawned,
+            partial_redos=sum(1 for p in restart_phases if p > 0),
+            restart_phases=restart_phases,
         )
         self.last_result = res
         self.total_runs += 1

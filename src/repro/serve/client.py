@@ -19,6 +19,7 @@ import asyncio
 import itertools
 import socket
 import threading
+import time
 from typing import Any
 
 from repro.serve.protocol import (
@@ -33,7 +34,15 @@ __all__ = ["BackgroundServer", "ServeClient"]
 
 
 class ServeClient:
-    """Blocking protocol client (one of ``tcp`` / ``in-process``)."""
+    """Blocking protocol client (one of ``tcp`` / ``in-process``).
+
+    The TCP path retries transient failures with exponential backoff:
+    a reset/closed connection is re-established and the request is
+    re-sent, and a structured 503 (server draining / shutting down)
+    backs off and retries on both transports.  ``retries`` bounds the
+    extra attempts (0 disables); ``retries_total`` counts every retry
+    actually taken, for tests and telemetry.
+    """
 
     def __init__(
         self,
@@ -43,39 +52,60 @@ class ServeClient:
         server: JobServer | None = None,
         loop: asyncio.AbstractEventLoop | None = None,
         timeout: float | None = 300.0,
+        retries: int = 2,
+        backoff_s: float = 0.1,
     ) -> None:
+        if int(retries) < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if float(backoff_s) < 0:
+            raise ValueError(f"backoff_s must be >= 0, got {backoff_s}")
         self._ids = itertools.count(1)
         self._timeout = timeout
+        self._retries = int(retries)
+        self._backoff_s = float(backoff_s)
+        self.retries_total = 0
         self._sock: socket.socket | None = None
         self._rfile = None
         self._server = None
         self._loop = None
+        self._host: str | None = None
+        self._port: int | None = None
+        self._closed = False
         if server is not None:
             if loop is None:
                 raise ValueError("in-process client needs the server's loop")
             self._server, self._loop = server, loop
         elif host is not None and port is not None:
-            self._sock = socket.create_connection((host, port), timeout=timeout)
-            self._rfile = self._sock.makefile("rb")
+            self._host, self._port = host, int(port)
+            self._connect()
         else:
             raise ValueError("pass either host+port or server+loop")
 
     # ------------------------------------------------------------ transport
-    def request(self, kind: str, spec: dict | None = None, *, tenant: str = "default") -> dict:
-        """Send one request, wait for its response, return the result.
+    def _connect(self) -> None:
+        if self._closed:
+            raise ConnectionError("client is closed")
+        assert self._host is not None and self._port is not None
+        self._sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout
+        )
+        self._rfile = self._sock.makefile("rb")
 
-        Raises :class:`ServeError` carrying the structured error when the
-        server answers ``ok: false``.
-        """
-        if isinstance(spec, SolveSpec):
-            spec = spec.to_dict()
-        payload: dict[str, Any] = {
-            "id": next(self._ids),
-            "kind": kind,
-            "tenant": tenant,
-        }
-        if spec is not None:
-            payload["spec"] = spec
+    def _drop_socket(self) -> None:
+        if self._rfile is not None:
+            try:
+                self._rfile.close()
+            except OSError:
+                pass
+            self._rfile = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _request_once(self, payload: dict) -> dict:
         if self._server is not None:
             future = asyncio.run_coroutine_threadsafe(
                 self._server.handle_request(
@@ -88,6 +118,8 @@ class ServeClient:
             # in-process path proves the wire format end to end
             response = read_message(write_message(response))
         else:
+            if self._sock is None:
+                self._connect()
             assert self._sock is not None and self._rfile is not None
             self._sock.sendall(write_message(payload))
             line = self._rfile.readline()
@@ -97,6 +129,43 @@ class ServeClient:
         if not response.get("ok"):
             raise ServeError.from_dict(response.get("error", {}))
         return response["result"]
+
+    def request(self, kind: str, spec: dict | None = None, *, tenant: str = "default") -> dict:
+        """Send one request, wait for its response, return the result.
+
+        Raises :class:`ServeError` carrying the structured error when the
+        server answers ``ok: false`` (after retries for 503s).
+        """
+        if isinstance(spec, SolveSpec):
+            spec = spec.to_dict()
+        payload: dict[str, Any] = {
+            "id": next(self._ids),
+            "kind": kind,
+            "tenant": tenant,
+        }
+        if spec is not None:
+            payload["spec"] = spec
+        last_exc: Exception | None = None
+        for attempt in range(self._retries + 1):
+            if attempt:
+                self.retries_total += 1
+                time.sleep(self._backoff_s * (2 ** (attempt - 1)))
+            try:
+                return self._request_once(payload)
+            except ServeError as exc:
+                if exc.code != 503 or attempt == self._retries:
+                    raise
+                last_exc = exc
+            except TimeoutError:
+                raise  # a slow server is not a transient transport fault
+            except (ConnectionError, OSError) as exc:
+                if self._server is not None or self._closed:
+                    raise  # in-process has no transport to re-establish
+                self._drop_socket()  # reconnect lazily on the next attempt
+                if attempt == self._retries:
+                    raise
+                last_exc = exc
+        raise last_exc  # pragma: no cover — loop always returns or raises
 
     # ---------------------------------------------------------- convenience
     def solve(self, spec: dict, *, tenant: str = "default") -> dict:
@@ -109,12 +178,8 @@ class ServeClient:
         return self.request("status")
 
     def close(self) -> None:
-        if self._rfile is not None:
-            self._rfile.close()
-            self._rfile = None
-        if self._sock is not None:
-            self._sock.close()
-            self._sock = None
+        self._closed = True
+        self._drop_socket()
 
     def __enter__(self) -> "ServeClient":
         return self

@@ -37,6 +37,7 @@ from typing import Any
 import numpy as np
 
 __all__ = [
+    "FrameTooLargeError",
     "ProtocolError",
     "ServeError",
     "SolveSpec",
@@ -93,6 +94,29 @@ class ProtocolError(ServeError):
 
     def __init__(self, message: str, details: dict | None = None) -> None:
         super().__init__(400, "bad-request", message, details)
+
+
+class FrameTooLargeError(ServeError):
+    """A request frame past ``max_frame_bytes`` (code 400).
+
+    Raised by the server's bounded frame reader *instead of* buffering a
+    hostile or buggy client's unbounded line into memory.  The reader
+    drains the oversized line before raising, so the connection stays
+    usable and the client receives this as a structured 400 with kind
+    ``"frame-too-large"`` rather than a dropped socket.
+    """
+
+    def __init__(self, frame_bytes: int, max_frame_bytes: int) -> None:
+        super().__init__(
+            400,
+            "frame-too-large",
+            f"request frame exceeds max_frame_bytes={max_frame_bytes} "
+            f"(received at least {frame_bytes} bytes with no newline)",
+            details={
+                "frame_bytes": int(frame_bytes),
+                "max_frame_bytes": int(max_frame_bytes),
+            },
+        )
 
 
 @dataclass(frozen=True)

@@ -220,6 +220,10 @@ class FairScheduler:
         tenants.update(t for t, q in self._queues.items() if q)
         return len(tenants)
 
+    def inflight_total(self) -> int:
+        """Jobs currently executing on pool threads (all tenants)."""
+        return sum(self._inflight.values())
+
     def queued_cost_s(self) -> float:
         return self._queued_cost_s
 

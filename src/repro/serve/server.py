@@ -22,6 +22,7 @@ a ledger is configured.
 from __future__ import annotations
 
 import asyncio
+import signal
 import time
 from dataclasses import dataclass
 from typing import Any
@@ -31,6 +32,7 @@ import numpy as np
 from repro.obs import NULL_TELEMETRY, Telemetry
 from repro.serve.opcache import SharedOperatorCache
 from repro.serve.protocol import (
+    FrameTooLargeError,
     ProtocolError,
     ServeError,
     SolveSpec,
@@ -60,6 +62,8 @@ class ServeConfig:
     opcache_bytes: int = 256 << 20
     #: flight-recorder target ("auto" = default RUNS.jsonl, None = off)
     ledger_path: str | None = None
+    #: largest accepted request frame; longer lines get a structured 400
+    max_frame_bytes: int = 32 << 20
 
     def __post_init__(self) -> None:
         if not 0 <= int(self.port) <= 65535:
@@ -75,6 +79,10 @@ class ServeConfig:
         if int(self.opcache_bytes) <= 0:
             raise ValueError(
                 f"opcache_bytes must be positive, got {self.opcache_bytes}"
+            )
+        if int(self.max_frame_bytes) < 1024:
+            raise ValueError(
+                f"max_frame_bytes must be >= 1024, got {self.max_frame_bytes}"
             )
 
 
@@ -268,6 +276,73 @@ def solve_direct(spec: SolveSpec | dict) -> dict[str, Any]:
     return _solve_core(spec)
 
 
+# ------------------------------------------------------------- frame reading
+
+
+class _FrameReader:
+    """Bounded newline-frame reader over an asyncio stream.
+
+    ``StreamReader.readline()`` buffers an arbitrarily long line, so a
+    client that never sends a newline can grow the server's memory
+    without limit.  This reader caps the in-flight frame at
+    ``max_frame_bytes``; on overflow it *drains* the rest of the
+    oversized line (in bounded chunks, keeping nothing) and raises
+    :class:`FrameTooLargeError`, leaving the stream positioned at the
+    next frame — the connection survives the bad frame.
+    """
+
+    _CHUNK = 65536
+
+    def __init__(self, reader: asyncio.StreamReader, max_frame_bytes: int) -> None:
+        self._reader = reader
+        self._max = int(max_frame_bytes)
+        self._buf = bytearray()
+        self._eof = False
+
+    async def read_frame(self) -> bytes | None:
+        """Next newline-terminated frame; ``None`` at EOF.
+
+        Raises :class:`FrameTooLargeError` for frames past the cap.  A
+        truncated final frame (data then EOF, no newline) is returned
+        as-is and left for the JSON parser to reject.
+        """
+        while True:
+            nl = self._buf.find(b"\n")
+            if nl != -1:
+                frame = bytes(self._buf[: nl + 1])
+                del self._buf[: nl + 1]
+                return frame
+            if len(self._buf) > self._max:
+                seen = await self._drain_oversized_line()
+                raise FrameTooLargeError(seen, self._max)
+            if self._eof:
+                if self._buf:
+                    frame = bytes(self._buf)
+                    self._buf.clear()
+                    return frame
+                return None
+            chunk = await self._reader.read(self._CHUNK)
+            if not chunk:
+                self._eof = True
+            else:
+                self._buf.extend(chunk)
+
+    async def _drain_oversized_line(self) -> int:
+        """Discard through the offending newline; return bytes seen."""
+        seen = len(self._buf)
+        self._buf.clear()
+        while True:
+            chunk = await self._reader.read(self._CHUNK)
+            if not chunk:
+                self._eof = True
+                return seen
+            nl = chunk.find(b"\n")
+            if nl != -1:
+                self._buf.extend(chunk[nl + 1 :])
+                return seen + nl + 1
+            seen += len(chunk)
+
+
 # ----------------------------------------------------------------- the server
 
 
@@ -292,6 +367,8 @@ class JobServer:
         self._server: asyncio.base_events.Server | None = None
         self._started = time.monotonic()
         self.requests_total = 0
+        self._draining = False
+        self.drains_total = 0
 
     # ----------------------------------------------------------- lifecycle
     async def start(self) -> None:
@@ -307,13 +384,29 @@ class JobServer:
             raise RuntimeError("server not started")
         return self._server.sockets[0].getsockname()[1]
 
-    async def aclose(self) -> None:
-        """Stop accepting, shed the queue with 503s, drain in-flight."""
+    async def drain(self) -> None:
+        """Graceful shutdown: stop accepting, 503 the queue, finish in-flight.
+
+        Idempotent.  New non-``status`` requests answer 503
+        ``"draining"`` from the moment the flag flips; already-running
+        solves complete and their responses are written; queued jobs are
+        failed with structured 503s by the scheduler.
+        """
+        if not self._draining:
+            self._draining = True
+            self.drains_total += 1
+            self.telemetry.metrics.counter(
+                "serve_drains_total", "graceful serve drains initiated"
+            ).inc()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
         await self.scheduler.close()
+
+    async def aclose(self) -> None:
+        """Stop accepting, shed the queue with 503s, drain in-flight."""
+        await self.drain()
 
     # ------------------------------------------------------------- requests
     async def handle_request(self, payload: dict) -> dict:
@@ -328,6 +421,15 @@ class JobServer:
             self.requests_total += 1
             if kind == "status":
                 return {"id": rid, "ok": True, "result": self.status()}
+            if self._draining:
+                # health stays readable during a drain; work does not
+                raise ServeError(
+                    503,
+                    "draining",
+                    "server is draining: in-flight work is finishing, "
+                    "no new work is accepted",
+                    details={"drains_total": self.drains_total},
+                )
             want_trace = kind == "trace"
             t_submit = time.monotonic()
             future = self.scheduler.submit(tenant, spec)
@@ -357,7 +459,11 @@ class JobServer:
         sched = self.scheduler
         return {
             "uptime_s": time.monotonic() - self._started,
+            "state": "draining" if self._draining else "serving",
+            "draining": self._draining,
+            "drains_total": self.drains_total,
             "pool_size": sched.pool_size,
+            "inflight": sched.inflight_total(),
             "queue_depth": sched.queue_depth(),
             "active_tenants": sched.active_tenants(),
             "queued_cost_s": sched.queued_cost_s(),
@@ -369,7 +475,24 @@ class JobServer:
             "deadline_total": sched.deadline_total,
             "opcache": self.opcache.stats(),
             "governor": sched.governor.snapshot(),
+            "shard_supervisor": self._shard_supervisor_state(),
         }
+
+    @staticmethod
+    def _shard_supervisor_state() -> dict[str, Any]:
+        """Aggregate ProcessEngine supervision state for health reports.
+
+        Sharded solves are rejected inside the pool, but the hosting
+        process may still run ProcessEngines (e.g. via the trace CLI in
+        the same interpreter, or tests); health reporting should see
+        their respawn/fallback history either way.
+        """
+        try:
+            from repro.runtime.shards import supervisor_snapshot
+
+            return supervisor_snapshot()
+        except Exception:  # pragma: no cover — health must never raise
+            return {"engines": 0}
 
     # ------------------------------------------------------------ execution
     def _execute(self, job: Job) -> dict[str, Any]:
@@ -459,38 +582,50 @@ class JobServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        """JSON-lines loop; requests on one connection are multiplexed."""
+        """JSON-lines loop; requests on one connection are multiplexed.
+
+        Chaos-hardened: oversized frames answer a structured 400 and the
+        connection keeps serving; writes tolerate the peer vanishing
+        mid-response (the solve result is simply dropped — the pool and
+        dispatcher never see the disconnect).
+        """
         write_lock = asyncio.Lock()
         pending: set[asyncio.Task] = set()
+        frames = _FrameReader(reader, self.config.max_frame_bytes)
+
+        async def send(response: dict) -> None:
+            try:
+                async with write_lock:
+                    writer.write(write_message(response))
+                    await writer.drain()
+            except (ConnectionError, OSError):
+                pass  # peer is gone; nothing left to deliver to
 
         async def respond(payload: dict) -> None:
-            response = await self.handle_request(payload)
-            async with write_lock:
-                writer.write(write_message(response))
-                await writer.drain()
+            await send(await self.handle_request(payload))
 
         try:
             while True:
-                line = await reader.readline()
-                if not line:
+                try:
+                    line = await frames.read_frame()
+                except FrameTooLargeError as exc:
+                    await send({"id": None, "ok": False, "error": exc.to_dict()})
+                    continue
+                if line is None:
                     break
                 try:
                     payload = read_message(line)
                 except ProtocolError as exc:
-                    async with write_lock:
-                        writer.write(
-                            write_message(
-                                {"id": None, "ok": False, "error": exc.to_dict()}
-                            )
-                        )
-                        await writer.drain()
+                    await send({"id": None, "ok": False, "error": exc.to_dict()})
                     continue
                 task = asyncio.get_running_loop().create_task(respond(payload))
                 pending.add(task)
                 task.add_done_callback(pending.discard)
+        except (ConnectionError, OSError):
+            pass  # abrupt disconnect mid-read; in-flight tasks settle below
+        finally:
             if pending:
                 await asyncio.gather(*list(pending), return_exceptions=True)
-        finally:
             writer.close()
             try:
                 await writer.wait_closed()
@@ -503,6 +638,23 @@ class JobServer:
 
 async def _serve_forever(server: JobServer) -> None:
     await server.start()
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+
+    def request_drain(signame: str) -> None:
+        print(f"received {signame}; draining (finishing in-flight, 503ing new work)")
+        stop.set()
+
+    installed: list[int] = []
+    for signame in ("SIGTERM", "SIGINT"):
+        signum = getattr(signal, signame, None)
+        if signum is None:
+            continue
+        try:
+            loop.add_signal_handler(signum, request_drain, signame)
+            installed.append(signum)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass  # no loop signal support (e.g. Windows); KeyboardInterrupt path
     print(
         f"serving on {server.config.host}:{server.port} "
         f"(pool={server.config.pool_size}, "
@@ -511,10 +663,17 @@ async def _serve_forever(server: JobServer) -> None:
     )
     try:
         assert server._server is not None
-        async with server._server:
-            await server._server.serve_forever()
+        forever = loop.create_task(server._server.serve_forever())
+        stopper = loop.create_task(stop.wait())
+        await asyncio.wait({forever, stopper}, return_when=asyncio.FIRST_COMPLETED)
+        for task in (forever, stopper):
+            task.cancel()
+        await asyncio.gather(forever, stopper, return_exceptions=True)
     finally:
-        await server.aclose()
+        for signum in installed:
+            loop.remove_signal_handler(signum)
+        await server.drain()
+        print("drained; shut down")
 
 
 def main(
@@ -525,6 +684,7 @@ def main(
     max_tenants: int = 8,
     shed_budget: float = 60.0,
     opcache_mb: int = 256,
+    max_frame_mb: int = 32,
     ledger: str | None = None,
 ) -> None:
     """``python -m repro serve`` — run the job server until interrupted."""
@@ -535,6 +695,7 @@ def main(
         max_tenants=int(max_tenants),
         shed_budget_s=float(shed_budget),
         opcache_bytes=int(opcache_mb) << 20,
+        max_frame_bytes=int(max_frame_mb) << 20,
         ledger_path=None if ledger in (None, "none", "off") else ledger,
     )
     server = JobServer(config)

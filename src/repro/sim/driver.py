@@ -211,7 +211,9 @@ class Simulation:
             if (self.config.n_shards or 1) > 1:
                 from repro.runtime.shards import ProcessEngine
 
-                self.engine = ProcessEngine(n_shards=self.config.n_shards)
+                self.engine = ProcessEngine(
+                    n_shards=self.config.n_shards, telemetry=self.telemetry
+                )
             else:
                 engine_config = EngineConfig(
                     n_workers=self.config.n_workers,
@@ -315,6 +317,10 @@ class Simulation:
                 "partition_imbalance": (
                     round(last.partition_imbalance, 4) if last else None
                 ),
+                # supervision history: how much this run leaned on recovery
+                "respawns": eng.total_respawns,
+                "partial_redos": eng.total_partial_redos,
+                "serial_fallbacks": eng.total_serial_fallbacks,
             }
         record = RunRecord(
             bench="simulation",

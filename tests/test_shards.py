@@ -9,8 +9,10 @@ tests assert it bit for bit with ``np.array_equal`` on raw float arrays.
 
 Also covered: the LET actually names every remote multipole a shard
 consumes, shard sessions survive strength swaps and refit-only geometry
-refreshes, a killed worker degrades to exact serial re-execution, and the
-driver-level config guards.
+refreshes, a killed worker is respawned by the shard supervisor (and
+degrades to exact serial re-execution only when respawn is disabled),
+and the driver-level config guards.  The full chaos matrix lives in
+``test_shard_supervision.py``.
 """
 
 from __future__ import annotations
@@ -157,9 +159,10 @@ def test_let_names_every_remote_multipole_and_body():
 
 
 # ---------------------------------------------------------- failure handling
-def test_worker_death_degrades_to_exact_serial():
-    """Killing a worker mid-session aborts the barrier, tears the pool
-    down, and the solver re-runs serially — same answer, counted once."""
+def test_worker_death_recovers_by_respawn():
+    """Killing a worker mid-session no longer costs the solve: the shard
+    supervisor respawns the dead worker, re-installs the plan, and the
+    sharded answer stays bitwise identical — no serial degradation."""
     pts, q = _cloud(n=1200, seed=37)
     kernel = GravityKernel(G=1.0, softening=1e-3)
     tree = AdaptiveOctree(pts, S=24)
@@ -171,11 +174,40 @@ def test_worker_death_degrades_to_exact_serial():
 
         eng._procs[0].terminate()
         eng._procs[0].join(timeout=10.0)
+        recovered = solver.solve(tree, q, gradient=True)
+        assert np.array_equal(serial.potential, recovered.potential)
+        assert np.array_equal(serial.gradient, recovered.gradient)
+        assert solver.degraded_runs == 0
+        assert solver.last_shard_result is not None
+        assert solver.last_shard_result.respawns >= 1
+        assert eng.total_respawns >= 1
+
+        # the respawned pool keeps serving subsequent solves
+        again = solver.solve(tree, q, gradient=True)
+        assert np.array_equal(serial.potential, again.potential)
+        assert solver.degraded_runs == 0
+
+
+def test_worker_death_degrades_serially_when_respawn_disabled():
+    """With max_respawns=0 the legacy contract holds: a dead worker tears
+    the pool down and the solver re-runs serially — same answer."""
+    pts, q = _cloud(n=1200, seed=37)
+    kernel = GravityKernel(G=1.0, softening=1e-3)
+    tree = AdaptiveOctree(pts, S=24)
+    serial = FMMSolver(kernel, order=3, folded=True).solve(tree, q, gradient=True)
+    with ProcessEngine(n_shards=2, timeout_s=60.0, max_respawns=0) as eng:
+        solver = FMMSolver(kernel, order=3, folded=True, engine=eng)
+        first = solver.solve(tree, q, gradient=True)
+        assert np.array_equal(serial.potential, first.potential)
+
+        eng._procs[0].terminate()
+        eng._procs[0].join(timeout=10.0)
         degraded = solver.solve(tree, q, gradient=True)
         assert np.array_equal(serial.potential, degraded.potential)
         assert np.array_equal(serial.gradient, degraded.gradient)
         assert solver.degraded_runs == 1
         assert solver.last_shard_result is None
+        assert eng.total_serial_fallbacks == 1
 
         # the pool respawns lazily and the backend recovers
         again = solver.solve(tree, q, gradient=True)
